@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's figures/tables (see
+DESIGN.md Section 4), asserts its qualitative shape, and writes the
+rendered rows/series — the same ones the paper reports — to
+``benchmarks/results/<id>.txt`` so they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(experiment_id: str, rendered: str) -> pathlib.Path:
+    """Persist one experiment's rendered output; returns the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(rendered + "\n")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

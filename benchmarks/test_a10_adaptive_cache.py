@@ -1,0 +1,20 @@
+"""A10 — cost-driven eviction tracks a moving hot set (§4.2, §8.4).
+
+A paced workload whose hot set shifts mid-run: the breakeven-interval
+controller lets the DRAM footprint float to the hot set in *both* phases
+(releasing the old hot pages after the shift), keeps F low once
+re-warmed, and undercuts the everything-in-DRAM bill.
+"""
+
+from repro.bench import ablation_a10
+
+from .support import run_once, write_result
+
+
+def test_a10_adaptive_cache(benchmark):
+    result = run_once(benchmark, ablation_a10)
+    assert result.shape_ok()
+    assert result.adaptive_bill < result.all_dram_bill
+    # The floated footprint is hot-set-sized, not database-sized.
+    assert result.adaptive_phase2_bytes < result.data_bytes * 0.5
+    write_result("a10_adaptive_cache", result.render())

@@ -1,0 +1,19 @@
+"""A2 — blind updates avoid read I/O (paper Section 6.2).
+
+Updates to a fully cold store: the blind delta path performs zero read
+I/Os; read-modify-write pays roughly one fetch per update.
+"""
+
+from repro.bench import ablation_a2
+
+from .support import run_once, write_result
+
+
+def test_a2_blind_updates(benchmark):
+    result = run_once(benchmark, lambda: ablation_a2(
+        record_count=4_000, updates=2_000,
+    ))
+    assert result.shape_ok()
+    assert result.blind_ios == 0
+    assert result.read_modify_write_ios >= result.updates * 0.8
+    write_result("a2_blind_updates", result.render())

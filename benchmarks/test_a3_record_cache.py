@@ -1,0 +1,19 @@
+"""A3 — record caching at the TC (paper Section 6.3, Figure 6).
+
+Same total DRAM budget with and without the TC's retained log buffers and
+read cache.  Shape claims: fewer data-component read I/Os with the record
+caches, and the record-level breakeven scales by records-per-page.
+"""
+
+from repro.bench import ablation_a3
+
+from .support import run_once, write_result
+
+
+def test_a3_record_cache(benchmark):
+    result = run_once(benchmark, lambda: ablation_a3(
+        record_count=6_000, operations=4_000,
+    ))
+    assert result.shape_ok()
+    assert result.tc_hit_rate > 0.1
+    write_result("a3_record_cache", result.render())

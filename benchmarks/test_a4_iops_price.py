@@ -1,0 +1,16 @@
+"""A4 — the falling price of SSD IOPS (paper Section 7.1.2).
+
+Sweeping IOPS at constant drive price: the breakeven interval shrinks
+monotonically, and the paper's 300k -> 500k step cuts the per-I/O cost by
+~40%.
+"""
+
+from repro.bench import ablation_a4
+
+from .support import run_once, write_result
+
+
+def test_a4_iops_price(benchmark):
+    result = run_once(benchmark, ablation_a4)
+    assert result.shape_ok()
+    write_result("a4_iops_price", result.render())

@@ -1,0 +1,19 @@
+"""A5 — GC policy trade-off (paper Section 6.1).
+
+Eager cleaning keeps the flash footprint (and $Fl rental) small; lazy
+cleaning reclaims more bytes per byte rewritten because segments are
+emptier when finally cleaned.
+"""
+
+from repro.bench import ablation_a5
+
+from .support import run_once, write_result
+
+
+def test_a5_gc_policy(benchmark):
+    result = run_once(benchmark, lambda: ablation_a5(
+        record_count=3_000, updates=9_000,
+    ))
+    assert result.shape_ok()
+    assert result.lazy_efficiency > result.eager_efficiency
+    write_result("a5_gc_policy", result.render())

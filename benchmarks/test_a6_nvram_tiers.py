@@ -1,0 +1,18 @@
+"""A6 — NVRAM as extended memory (paper Section 8.2).
+
+Four-tier placement (CSS/SS/NVM/DRAM) across access rates; NVRAM earns a
+band between flash and DRAM, while an NVRAM SSD would save under half the
+SS execution cost (the software path dominates), matching the paper's two
+Section 8.2 predictions.
+"""
+
+from repro.bench import ablation_a6
+
+from .support import run_once, write_result
+
+
+def test_a6_nvram_tiers(benchmark):
+    result = run_once(benchmark, ablation_a6)
+    assert result.shape_ok()
+    assert 0.0 < result.ssd_savings_fraction < 0.5
+    write_result("a6_nvram_tiers", result.render())

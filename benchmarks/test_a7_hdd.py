@@ -1,0 +1,20 @@
+"""A7 — "disk is tape" (paper Section 8.3).
+
+The paper's arithmetic for a 1M ops/sec store over HDDs: ~5,000 ops
+execute within one drive latency, a sub-1% miss budget saturates the
+drive, and 10-I/O transactions cap at ~20/second.
+"""
+
+import pytest
+
+from repro.bench import ablation_a7
+
+from .support import run_once, write_result
+
+
+def test_a7_hdd(benchmark):
+    result = run_once(benchmark, ablation_a7)
+    assert result.shape_ok()
+    assert result.best_max_txn_per_sec == pytest.approx(20.0)
+    assert result.ops_per_latency == pytest.approx(5000.0)
+    write_result("a7_hdd", result.render())

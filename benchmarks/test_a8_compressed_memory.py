@@ -1,0 +1,18 @@
+"""A8 — compressed main memory (paper Section 7.2, last paragraph).
+
+The paper conjectures a band where data compressed *in DRAM* beats both
+uncompressed DRAM and flash; this prices the CMM class and verifies both
+the window's existence at moderate parameters and its disappearance when
+decompression gets too expensive.
+"""
+
+from repro.bench import ablation_a8
+
+from .support import run_once, write_result
+
+
+def test_a8_compressed_memory(benchmark):
+    result = run_once(benchmark, ablation_a8)
+    assert result.shape_ok()
+    assert result.window_low_rate < result.window_high_rate
+    write_result("a8_compressed_memory", result.render())

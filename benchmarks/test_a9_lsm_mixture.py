@@ -1,0 +1,20 @@
+"""A9 — the RocksDB-style LSM obeys the same mixture model.
+
+Sweeping the LSM's block-cache size produces (F, PF) points that a single
+Equation-(3)-derived R explains, just as for the Bw-tree — the paper's
+reason for grouping RocksDB and Deuteronomy as one system class.
+"""
+
+from repro.bench import ablation_a9
+
+from .support import run_once, write_result
+
+
+def test_a9_lsm_mixture(benchmark):
+    result = run_once(benchmark, lambda: ablation_a9(
+        record_count=8_000, operations=4_000,
+    ))
+    assert result.shape_ok()
+    # The LSM's R exceeds the Bw-tree's: a read probes several tables.
+    assert result.r_mean > 5.0
+    write_result("a9_lsm_mixture", result.render())

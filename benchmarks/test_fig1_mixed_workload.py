@@ -1,0 +1,26 @@
+"""F1 — Figure 1: relative performance of a mixed MM/SS workload.
+
+Analytic curves for R and R +/- 30% plus *measured* 1-core and 4-core
+points from real runs over the Bw-tree/LLAMA stack at shrinking cache
+sizes.  Shape claims: performance declines monotonically toward P0/R as F
+grows, and the measured points fall inside the band (paper Section 2.2).
+"""
+
+from repro.bench import figure1
+
+from .support import run_once, write_result
+
+
+def test_fig1_mixed_workload(benchmark):
+    result = run_once(benchmark, lambda: figure1(
+        record_count=10_000,
+        measure_operations=3_000,
+        cache_fractions=(0.75, 0.5, 0.3, 0.15, 0.05),
+    ))
+    assert result.shape_ok()
+    assert result.points_in_band() >= result.total_points() * 0.7
+    # The paper's R band: 5.8 +/- 30% with user-level I/O.
+    assert 5.8 * 0.7 <= result.r_mid <= 5.8 * 1.3
+    # 4-core P0 should be ~4x the 1-core P0 (the paper's ROPS scaling).
+    assert 3.0 < result.p0_4core / result.p0_1core < 5.0
+    write_result("f1_mixed_workload", result.render())

@@ -1,0 +1,18 @@
+"""F2 — Figure 2: MM vs SS cost lines and the updated 5-minute rule.
+
+Shape claims: exactly one crossover; SS cheaper below it, MM above it;
+the crossover interval is ~45 seconds with the paper's constants.
+"""
+
+import pytest
+
+from repro.bench import figure2
+
+from .support import run_once, write_result
+
+
+def test_fig2_five_minute_rule(benchmark):
+    result = run_once(benchmark, figure2)
+    assert result.shape_ok()
+    assert result.breakeven_interval == pytest.approx(45.2, abs=0.5)
+    write_result("f2_five_minute_rule", result.render())

@@ -1,0 +1,26 @@
+"""F3 — Figure 3: Bw-tree vs MassTree cost; size-dependent crossover.
+
+Px and Mx are *measured* from the two real implementations under the same
+loaded workload, then priced with Equation (7).  Shape claims: Bw-tree
+cheaper below the crossover, MassTree above; crossover scales with 1/S;
+measured crossover within ~35% of the paper's 0.73e6 ops/s at 6.1 GB.
+"""
+
+import pytest
+
+from repro.bench import figure3
+
+from .support import run_once, write_result
+
+
+def test_fig3_masstree_crossover(benchmark):
+    result = run_once(benchmark, lambda: figure3(
+        record_count=15_000, measure_operations=6_000,
+    ))
+    assert result.shape_ok()
+    assert 2.0 <= result.px_measured <= 3.2      # paper: 2.6
+    assert 1.6 <= result.mx_measured <= 2.6      # paper: 2.1
+    assert result.crossover_measured == pytest.approx(
+        result.crossover_paper, rel=0.35
+    )
+    write_result("f3_masstree_crossover", result.render())

@@ -1,0 +1,23 @@
+"""F7 — Figure 7: cheaper I/O execution paths bend the SS cost line.
+
+R is measured under both simulated I/O paths (kernel vs SPDK-style
+user-level).  Shape claims: R_user < R_kernel (paper: 9 -> 5.8), the
+user-level SS line is below the kernel line everywhere, and the breakeven
+interval shrinks.
+"""
+
+from repro.bench import figure7
+
+from .support import run_once, write_result
+
+
+def test_fig7_io_path(benchmark):
+    result = run_once(benchmark, lambda: figure7(
+        record_count=10_000, measure_operations=3_000,
+    ))
+    assert result.shape_ok()
+    # Paper: about a third of the I/O path removed; 9x -> 5.8x.
+    assert 5.8 * 0.7 <= result.r_user <= 5.8 * 1.3
+    assert 9.0 * 0.7 <= result.r_kernel <= 9.0 * 1.3
+    assert result.r_kernel / result.r_user > 1.25
+    write_result("f7_io_path", result.render())

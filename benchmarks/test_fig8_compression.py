@@ -1,0 +1,18 @@
+"""F8 — Figure 8: compression adds a third (CSS) cost regime.
+
+Compression ratios are measured by running real codecs over the actual
+page payloads the workload generator produces.  Shape claims: three
+regimes in order CSS -> SS -> MM as the access rate grows.
+"""
+
+from repro.bench import figure8
+
+from .support import run_once, write_result
+
+
+def test_fig8_compression(benchmark):
+    result = run_once(benchmark, lambda: figure8(record_count=2_000))
+    assert result.shape_ok()
+    assert result.compression_ratio_deflate < 0.7
+    assert result.r_css > 5.8   # decompression adds execution cost
+    write_result("f8_compression", result.render())

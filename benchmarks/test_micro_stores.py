@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the store implementations themselves.
+
+These time the actual Python data structures (pytest-benchmark wall
+clock), useful for keeping the simulator usable — they say nothing about
+the paper's cost model, which uses virtual time.
+"""
+
+import random
+
+import pytest
+
+from repro.bwtree import BwTree, BwTreeConfig
+from repro.hardware import Machine
+from repro.lsm import LsmConfig, LsmTree
+from repro.masstree import MassTree
+
+RECORDS = 5_000
+KEYS = [b"user%010d" % i for i in range(RECORDS)]
+VALUE = b"v" * 100
+
+
+def loaded_bwtree() -> BwTree:
+    tree = BwTree(Machine.paper_default(), BwTreeConfig())
+    for key in KEYS:
+        tree.upsert(key, VALUE)
+    return tree
+
+
+def loaded_masstree() -> MassTree:
+    tree = MassTree(Machine.paper_default())
+    for key in KEYS:
+        tree.upsert(key, VALUE)
+    return tree
+
+
+def loaded_lsm() -> LsmTree:
+    tree = LsmTree(Machine.paper_default(), LsmConfig())
+    for key in KEYS:
+        tree.upsert(key, VALUE)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def bwtree():
+    return loaded_bwtree()
+
+
+@pytest.fixture(scope="module")
+def masstree():
+    return loaded_masstree()
+
+
+@pytest.fixture(scope="module")
+def lsm():
+    return loaded_lsm()
+
+
+def test_bwtree_cached_get(benchmark, bwtree):
+    source = random.Random(1)
+    benchmark(lambda: bwtree.get(KEYS[source.randrange(RECORDS)]))
+
+
+def test_bwtree_blind_upsert(benchmark, bwtree):
+    source = random.Random(2)
+    benchmark(
+        lambda: bwtree.upsert(KEYS[source.randrange(RECORDS)], VALUE)
+    )
+
+
+def test_masstree_get(benchmark, masstree):
+    source = random.Random(3)
+    benchmark(lambda: masstree.get(KEYS[source.randrange(RECORDS)]))
+
+
+def test_masstree_upsert(benchmark, masstree):
+    source = random.Random(4)
+    benchmark(
+        lambda: masstree.upsert(KEYS[source.randrange(RECORDS)], VALUE)
+    )
+
+
+def test_lsm_get(benchmark, lsm):
+    source = random.Random(5)
+    benchmark(lambda: lsm.get(KEYS[source.randrange(RECORDS)]))
+
+
+def test_lsm_blind_upsert(benchmark, lsm):
+    source = random.Random(6)
+    benchmark(lambda: lsm.upsert(KEYS[source.randrange(RECORDS)], VALUE))
+
+
+def test_bwtree_scan_100(benchmark, bwtree):
+    benchmark(lambda: sum(1 for __ in bwtree.scan(KEYS[1000], limit=100)))

@@ -1,0 +1,17 @@
+"""T1 — the Section 4.1 hardware cost catalog, paper vs simulated.
+
+ROPS, Ps and R are re-measured from the simulated stack and tabulated
+against the paper's published constants.
+"""
+
+from repro.bench import table1
+
+from .support import run_once, write_result
+
+
+def test_t1_catalog(benchmark):
+    result = run_once(benchmark, lambda: table1(
+        record_count=10_000, measure_operations=3_000,
+    ))
+    assert result.shape_ok()
+    write_result("t1_catalog", result.render())

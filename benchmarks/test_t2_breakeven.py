@@ -1,0 +1,19 @@
+"""T2 — the Section 4.2 derivations: Ti ~ 45 s, 11x storage, ~12x exec.
+
+Also checks that Equation (6) and the direct Eq(4)=Eq(5) solve agree, and
+that the record-cache variant scales by the records-per-page factor.
+"""
+
+import pytest
+
+from repro.bench import table2
+
+from .support import run_once, write_result
+
+
+def test_t2_breakeven(benchmark):
+    result = run_once(benchmark, table2)
+    assert result.shape_ok()
+    assert result.interval_seconds == pytest.approx(45.2, abs=0.5)
+    assert result.storage_ratio == pytest.approx(11.0, rel=0.05)
+    write_result("t2_breakeven", result.render())

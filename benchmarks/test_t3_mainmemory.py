@@ -1,0 +1,17 @@
+"""T3 — the Section 5 comparison numbers: Px, Mx, Eq-8 scaling.
+
+Px and Mx measured from the real trees; derived crossovers tabulated
+against the paper's 0.73e6 @ 6.1 GB, ~12e6 @ 100 GB and 3.1 s @ 2.7 KB.
+"""
+
+from repro.bench import table3
+
+from .support import run_once, write_result
+
+
+def test_t3_mainmemory(benchmark):
+    result = run_once(benchmark, lambda: table3(
+        record_count=15_000, measure_operations=6_000,
+    ))
+    assert result.shape_ok()
+    write_result("t3_mainmemory", result.render())

@@ -1,0 +1,22 @@
+"""T4 — R derived from mixed-workload runs via Equation (3).
+
+The paper's protocol: measure P0 and several (F, PF) points, recover R
+per point, and report the spread (5.8 +/- 30%); the kernel-path run shows
+the larger unoptimized R (~9).
+"""
+
+from repro.bench import table4
+
+from .support import run_once, write_result
+
+
+def test_t4_r_derivation(benchmark):
+    result = run_once(benchmark, lambda: table4(
+        record_count=10_000, measure_operations=3_000,
+        cache_fractions=(0.6, 0.4, 0.25, 0.12),
+    ))
+    assert result.shape_ok()
+    # Per-point spread stays within the paper's +/- 30% band.
+    assert result.r_max <= result.r_mean * 1.3
+    assert result.r_min >= result.r_mean * 0.7
+    write_result("t4_r_derivation", result.render())

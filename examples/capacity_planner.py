@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Cost-optimal cache sizing for a skewed workload.
+
+The operational payoff of the paper's analysis: given a heat map of
+per-page access rates (here, a zipfian workload over one million pages),
+choose the cheapest tier — DRAM (MM), flash (SS), or compressed flash
+(CSS) — for every page, and compare the resulting bill with the two naive
+policies: "buy DRAM for everything" (a main-memory system) and "cache
+nothing".
+
+Run:  python examples/capacity_planner.py
+"""
+
+import random
+
+from repro.bench import format_table
+from repro.core import (
+    CacheSizingAdvisor,
+    CostCatalog,
+    CssParameters,
+    Tier,
+    TierAdvisor,
+)
+
+
+def zipfian_page_rates(pages: int, total_ops_per_sec: float,
+                       theta: float = 0.99, seed: int = 42) -> list:
+    """Approximate per-page access rates under a zipfian popularity."""
+    # Zipf weights 1/rank^theta, shuffled so "hot" pages are scattered.
+    weights = [1.0 / (rank ** theta) for rank in range(1, pages + 1)]
+    total = sum(weights)
+    rates = [total_ops_per_sec * weight / total for weight in weights]
+    random.Random(seed).shuffle(rates)
+    return rates
+
+
+def main() -> None:
+    catalog = CostCatalog.paper_2018()
+    css = CssParameters(compression_ratio=0.5, r_css=9.0)
+
+    pages = 200_000                      # ~540 MB of 2.7 KB pages
+    offered = 2_000.0                    # ops/sec across the whole store
+    rates = zipfian_page_rates(pages, offered)
+
+    boundaries = TierAdvisor(catalog, css).boundaries()
+    print("Tier boundaries (accesses/sec per page):")
+    print(f"  CSS below {boundaries.css_to_ss_rate:.4g}, "
+          f"SS up to {boundaries.ss_to_mm_rate:.4g}, MM above "
+          f"(Ti = {1 / boundaries.ss_to_mm_rate:.0f} s)\n")
+
+    advisor = CacheSizingAdvisor(catalog, css, include_css=True)
+    sized = advisor.size_for(rates)
+    all_dram = advisor.cost_if_all_cached(rates)
+    no_cache = advisor.cost_if_none_cached(rates)
+
+    counts = sized.tier_counts
+    rows = [
+        ["cost-optimal (this paper)", f"{sized.total_cost:.4g}",
+         f"{sized.cache_bytes / 1e6:,.1f} MB",
+         f"{counts[Tier.MM]:,}/{counts[Tier.SS]:,}/{counts[Tier.CSS]:,}"],
+        ["everything in DRAM", f"{all_dram:.4g}",
+         f"{pages * catalog.page_bytes / 1e6:,.1f} MB", f"{pages:,}/0/0"],
+        ["no cache (all SS)", f"{no_cache:.4g}", "0.0 MB",
+         f"0/{pages:,}/0"],
+    ]
+    print(format_table(
+        ["policy", "cost/sec (x 1/L)", "DRAM needed", "pages MM/SS/CSS"],
+        rows,
+        title=f"Pricing {pages:,} pages at {offered:,.0f} ops/sec total",
+    ))
+
+    savings_dram = 1 - sized.total_cost / all_dram
+    savings_none = 1 - sized.total_cost / no_cache
+    print(f"\nThe sized cache costs {savings_dram:.0%} less than all-DRAM "
+          f"and {savings_none:.0%} less than no cache.")
+    print("This is the paper's core claim: a data caching system can pick "
+          "the cost-optimal point; a main-memory system cannot.")
+
+
+if __name__ == "__main__":
+    main()

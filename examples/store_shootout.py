@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bw-tree vs MassTree vs LSM on the same workload (Sections 1.3, 5).
+
+Loads identical data into all three stores and runs the same read-heavy
+zipfian stream, reporting each system's virtual execution cost, memory
+footprint, flash footprint and I/O count — the quantities the paper's
+cost model prices.
+
+Run:  python examples/store_shootout.py
+"""
+
+from repro import (
+    BwTree,
+    BwTreeConfig,
+    LsmConfig,
+    LsmTree,
+    Machine,
+    MassTree,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+from repro.bench import format_table
+
+SPEC = WorkloadSpec(record_count=8_000, value_bytes=100,
+                    read_fraction=0.9, update_fraction=0.1, seed=21)
+OPERATIONS = 5_000
+
+
+def drive(store, machine) -> dict:
+    for key, value in WorkloadGenerator(SPEC).load_items():
+        store.upsert(key, value)
+    machine.reset_accounting()
+    generator = WorkloadGenerator(SPEC)
+    for op in generator.operations(OPERATIONS):
+        if op.kind.value == "read":
+            store.get(op.key)
+        else:
+            store.upsert(op.key, op.value)
+    summary = machine.summary()
+    return {
+        "core_us": summary.core_us_per_op,
+        "throughput": summary.throughput_ops_per_sec,
+        "ios": summary.ssd_ios,
+        "dram": machine.dram.current_bytes,
+        "flash": machine.ssd.stored_bytes,
+    }
+
+
+def main() -> None:
+    results = {}
+
+    machine = Machine.paper_default(cores=4)
+    results["Bw-tree (all cached)"] = drive(
+        BwTree(machine, BwTreeConfig(segment_bytes=1 << 18)), machine)
+
+    machine = Machine.paper_default(cores=4)
+    results["Bw-tree (25% cache)"] = drive(
+        BwTree(machine, BwTreeConfig(
+            cache_capacity_bytes=SPEC.record_count * 130 // 4,
+            segment_bytes=1 << 18)), machine)
+
+    machine = Machine.paper_default(cores=4)
+    results["MassTree (main memory)"] = drive(MassTree(machine), machine)
+
+    machine = Machine.paper_default(cores=4)
+    results["LSM / RocksDB-style"] = drive(
+        LsmTree(machine, LsmConfig(memtable_bytes=1 << 18)), machine)
+
+    rows = [
+        [name,
+         f"{data['core_us']:.2f}",
+         f"{data['throughput']:,.0f}",
+         f"{data['ios']:,.0f}",
+         f"{data['dram'] / 1e6:.2f} MB",
+         f"{data['flash'] / 1e6:.2f} MB"]
+        for name, data in results.items()
+    ]
+    print(format_table(
+        ["system", "core-us/op", "virtual ops/s", "I/Os",
+         "DRAM", "flash"],
+        rows,
+        title=(f"{OPERATIONS:,} ops, 90/10 read/update, zipfian over "
+               f"{SPEC.record_count:,} records"),
+    ))
+
+    bw = results["Bw-tree (all cached)"]
+    mt = results["MassTree (main memory)"]
+    print(f"\nPx (MassTree speedup) ~ {bw['core_us'] / mt['core_us']:.2f} "
+          "(paper: ~2.6)")
+    print(f"Mx (MassTree memory expansion) ~ "
+          f"{mt['dram'] / bw['dram']:.2f} (paper: ~2.1)")
+    print("\nMassTree is fastest but pays for every byte in DRAM forever; "
+          "the Bw-tree can shrink its cache and trade execution cost for "
+          "storage cost — the adaptability the paper credits for data "
+          "caching systems' market success.")
+
+
+if __name__ == "__main__":
+    main()

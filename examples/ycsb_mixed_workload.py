@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Measuring the paper's R on a YCSB-style mixed workload (Section 2.2).
+
+Loads a zipfian keyspace into the Bw-tree/LLAMA stack, then re-runs the
+same read stream at several cache sizes.  Each run yields a measured
+(F, PF) point; Equation (3) recovers R per point, reproducing the paper's
+"R = 5.8 +/- 30%" experiment end to end — including the I/O-bound regime
+the paper warns about if you leave the SSD at its stock 200k IOPS.
+
+Run:  python examples/ycsb_mixed_workload.py
+"""
+
+from repro.bench import format_table
+from repro.core import (
+    MixtureModel,
+    StackConfig,
+    measure_p0,
+    measure_point,
+)
+
+
+def main() -> None:
+    config = StackConfig(
+        record_count=10_000,
+        cores=4,
+        measure_operations=3_000,
+        warmup_operations=1_000,
+        ssd_iops_override=5e6,   # keep the CPU the bottleneck (see note)
+    )
+
+    print("Measuring P0 (everything cached)...")
+    baseline = measure_p0(config)
+    p0 = baseline.throughput
+    print(f"P0 = {p0:,.0f} ops/s on {config.cores} cores "
+          f"({baseline.summary.core_us_per_op:.2f} core-us/op)\n")
+
+    model = MixtureModel()
+    rows = []
+    points = []
+    for fraction in (0.75, 0.5, 0.3, 0.15, 0.05):
+        run = measure_point(config.replace(cache_fraction=fraction))
+        points.append(run.as_point())
+        from repro.core import derive_r_from_point
+        r = derive_r_from_point(p0, run.throughput, run.f) \
+            if run.f > 0 else float("nan")
+        rows.append([
+            f"{fraction:.0%}", f"{run.f:.3f}",
+            f"{run.throughput:,.0f}",
+            f"{run.throughput / p0:.3f}", f"{r:.2f}",
+            "yes" if run.summary.io_bound else "no",
+        ])
+    print(format_table(
+        ["cache size", "F (SS fraction)", "PF ops/s", "PF/P0",
+         "R via Eq(3)", "I/O bound"],
+        rows,
+        title="Shrinking the cache raises F and recovers R per point",
+    ))
+
+    derivation = model.derive(p0, points)
+    print(f"\nR = {derivation.mean:.2f} "
+          f"[{derivation.minimum:.2f}, {derivation.maximum:.2f}] "
+          "(paper: 5.8 +/- 30% with user-level I/O)")
+
+    print("\nNote: with the stock 2.0e5-IOPS SSD a 4-core run saturates "
+          "the device at tiny F — the I/O-bound regime the paper excludes. "
+          "Re-run with ssd_iops_override=None to see the clamp.")
+
+
+if __name__ == "__main__":
+    main()

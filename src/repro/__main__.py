@@ -1,0 +1,115 @@
+"""Command-line experiment runner: ``python -m repro <experiment ...>``.
+
+Runs any of the paper's experiments by id (see DESIGN.md Section 4) and
+prints the rendered rows/series.  ``python -m repro all`` runs everything;
+``python -m repro list`` shows what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from .bench import (
+    ablation_a1,
+    ablation_a2,
+    ablation_a3,
+    ablation_a4,
+    ablation_a5,
+    ablation_a6,
+    ablation_a7,
+    ablation_a8,
+    ablation_a9,
+    ablation_a10,
+    figure1,
+    figure2,
+    figure3,
+    figure7,
+    figure8,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
+    "f1": ("Figure 1: mixed MM/SS workload performance", figure1),
+    "f2": ("Figure 2: MM vs SS cost, the 45-second rule", figure2),
+    "f3": ("Figure 3: Bw-tree vs MassTree crossover", figure3),
+    "f7": ("Figure 7: kernel vs user-level I/O paths", figure7),
+    "f8": ("Figure 8: compression (CSS) regimes", figure8),
+    "t1": ("Table 1: hardware cost catalog", table1),
+    "t2": ("Table 2: breakeven derivations", table2),
+    "t3": ("Table 3: main-memory comparison numbers", table3),
+    "t4": ("Table 4: R derivation via Eq (3)", table4),
+    "a1": ("Ablation 1: log-structured write traffic", ablation_a1),
+    "a2": ("Ablation 2: blind updates avoid read I/O", ablation_a2),
+    "a3": ("Ablation 3: TC record caching", ablation_a3),
+    "a4": ("Ablation 4: falling IOPS prices", ablation_a4),
+    "a5": ("Ablation 5: GC policy trade-off", ablation_a5),
+    "a6": ("Ablation 6: NVRAM as extended memory", ablation_a6),
+    "a7": ("Ablation 7: 'disk is tape' HDD arithmetic", ablation_a7),
+    "a8": ("Ablation 8: compressed main memory", ablation_a8),
+    "a9": ("Ablation 9: the LSM follows Equation (2)", ablation_a9),
+    "a10": ("Ablation 10: adaptive eviction, moving hot set",
+            ablation_a10),
+}
+
+FAST = ("f2", "f8", "t2", "a4", "a6", "a7", "a8")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate experiments from Lomet, 'Cost/Performance in "
+            "Modern Data Stores' (DaMoN'18/ICDE'19)."
+        ),
+    )
+    parser.add_argument(
+        "experiments", nargs="*", default=["fast"],
+        help=("experiment ids (f1 f2 f3 f7 f8 t1-t4 a1-a8), 'fast' for "
+              "the analytic subset, 'all' for everything, or 'list'"),
+    )
+    args = parser.parse_args(argv)
+
+    requested = []
+    for name in args.experiments:
+        lowered = name.lower()
+        if lowered == "list":
+            for key, (description, __) in EXPERIMENTS.items():
+                print(f"  {key:4s} {description}")
+            return 0
+        if lowered == "all":
+            requested.extend(EXPERIMENTS)
+        elif lowered == "fast":
+            requested.extend(FAST)
+        elif lowered in EXPERIMENTS:
+            requested.append(lowered)
+        else:
+            parser.error(
+                f"unknown experiment {name!r}; try 'list'"
+            )
+
+    failures = 0
+    for key in dict.fromkeys(requested):   # dedupe, keep order
+        description, runner = EXPERIMENTS[key]
+        print("=" * 72)
+        print(f"[{key}] {description}")
+        print("=" * 72)
+        started = time.time()
+        result = runner()
+        elapsed = time.time() - started
+        print(result.render())
+        ok = result.shape_ok()
+        print(f"\nshape check: {'OK' if ok else 'FAILED'} "
+              f"({elapsed:.1f}s)\n")
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,469 @@
+"""Experiment drivers regenerating the paper's figures (F1-F3, F7, F8).
+
+Each ``figureN`` function runs the experiment (simulated measurements plus
+the analytic model), returns a structured result with the same series the
+paper plots, and exposes ``shape_ok()`` checks asserting the paper's
+qualitative claims — who wins, where the crossovers fall — without pinning
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..compression import DeflateCodec, RleCodec, measure_corpus
+from ..core.breakeven import breakeven_rate_ops_per_sec, breakeven_report
+from ..core.calibration import (
+    StackConfig,
+    measure_direct_r,
+    measure_p0,
+    measure_point,
+    measure_px_mx,
+)
+from ..core.catalog import CostCatalog
+from ..core.costmodel import CssParameters, OperationCostModel, logspace_rates
+from ..core.mainmemory import MainMemoryComparison, paper_comparison
+from ..core.mixture import MixtureModel
+from ..hardware.iopath import IoPathKind
+from ..workloads.ycsb import WorkloadGenerator, WorkloadSpec
+from .reporting import format_series, format_table
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — relative performance of a mixed MM/SS workload
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure1Result:
+    """Analytic band plus simulated 1-core and 4-core points."""
+
+    fractions: List[float]
+    curve_r_low: List[float]
+    curve_r_mid: List[float]
+    curve_r_high: List[float]
+    r_mid: float
+    points_1core: List[Dict[str, float]] = field(default_factory=list)
+    points_4core: List[Dict[str, float]] = field(default_factory=list)
+    p0_1core: float = 0.0
+    p0_4core: float = 0.0
+
+    def points_in_band(self) -> int:
+        model = MixtureModel(self.r_mid)
+        count = 0
+        for points, p0 in ((self.points_1core, self.p0_1core),
+                           (self.points_4core, self.p0_4core)):
+            for point in points:
+                rel = point["throughput"] / p0
+                upper = 1.0 / ((1 - point["f"]) + point["f"] * model.r_low)
+                lower = 1.0 / ((1 - point["f"]) + point["f"] * model.r_high)
+                if lower <= rel <= upper:
+                    count += 1
+        return count
+
+    def total_points(self) -> int:
+        return len(self.points_1core) + len(self.points_4core)
+
+    def shape_ok(self) -> bool:
+        """Performance declines with F; measured points mostly in band."""
+        declines = all(
+            self.curve_r_mid[i] >= self.curve_r_mid[i + 1]
+            for i in range(len(self.curve_r_mid) - 1)
+        )
+        in_band = self.points_in_band() >= self.total_points() * 0.7
+        return declines and in_band
+
+    def render(self) -> str:
+        rows = []
+        for f, lo, mid, hi in zip(self.fractions, self.curve_r_high,
+                                  self.curve_r_mid, self.curve_r_low):
+            rows.append([f"{f:.2f}", f"{lo:.3f}", f"{mid:.3f}", f"{hi:.3f}"])
+        parts = [format_table(
+            ["F (SS fraction)", f"R={self.r_mid * 1.3:.2f}",
+             f"R={self.r_mid:.2f}", f"R={self.r_mid * 0.7:.2f}"],
+            rows,
+            title="Figure 1: relative performance PF/P0 vs SS fraction F",
+        )]
+        for label, points, p0 in (
+            ("1-core", self.points_1core, self.p0_1core),
+            ("4-core", self.points_4core, self.p0_4core),
+        ):
+            rows = [
+                [f"{p['f']:.3f}", f"{p['throughput']:,.0f}",
+                 f"{p['throughput'] / p0:.3f}"]
+                for p in points
+            ]
+            parts.append(format_table(
+                ["F", "ops/sec", "PF/P0"], rows,
+                title=f"measured {label} points (P0 = {p0:,.0f} ops/s)",
+            ))
+        return "\n\n".join(parts)
+
+
+def figure1(record_count: int = 20_000,
+            measure_operations: int = 6_000,
+            cache_fractions: tuple = (0.75, 0.5, 0.3, 0.15, 0.05),
+            ) -> Figure1Result:
+    """Reproduce Figure 1 with real runs over the Bw-tree stack."""
+    fractions = [i / 20 for i in range(21)]
+    base_config = StackConfig(
+        record_count=record_count,
+        cores=1,
+        measure_operations=measure_operations,
+        warmup_operations=measure_operations // 3,
+        ssd_iops_override=5e6,   # keep the CPU, not the SSD, the bottleneck
+    )
+    r = measure_direct_r(base_config)
+    model = MixtureModel(r)
+    result = Figure1Result(
+        fractions=fractions,
+        curve_r_low=model.curve(fractions, model.r_low),
+        curve_r_mid=model.curve(fractions, r),
+        curve_r_high=model.curve(fractions, model.r_high),
+        r_mid=r,
+    )
+    for cores in (1, 4):
+        config = base_config.replace(cores=cores)
+        baseline = measure_p0(config)
+        points = []
+        for fraction in cache_fractions:
+            run_config = config.replace(cache_fraction=fraction)
+            run = measure_point(run_config)
+            points.append({
+                "f": run.f,
+                "throughput": run.throughput,
+                "io_bound": 1.0 if run.summary.io_bound else 0.0,
+            })
+        if cores == 1:
+            result.points_1core = points
+            result.p0_1core = baseline.throughput
+        else:
+            result.points_4core = points
+            result.p0_4core = baseline.throughput
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — MM vs SS cost curves and the 45-second rule
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure2Result:
+    rates: List[float]
+    mm_costs: List[float]
+    ss_costs: List[float]
+    breakeven_rate: float
+    breakeven_interval: float
+
+    def shape_ok(self) -> bool:
+        """SS cheaper below breakeven, MM cheaper above; one crossover."""
+        model_ok = True
+        crossings = 0
+        for rate, mm, ss in zip(self.rates, self.mm_costs, self.ss_costs):
+            cheaper_ss = ss < mm
+            expected_ss = rate < self.breakeven_rate
+            if cheaper_ss != expected_ss:
+                model_ok = False
+        signs = [mm < ss for mm, ss in zip(self.mm_costs, self.ss_costs)]
+        for i in range(len(signs) - 1):
+            if signs[i] != signs[i + 1]:
+                crossings += 1
+        return model_ok and crossings == 1
+
+    def render(self) -> str:
+        rows = [
+            [f"{rate:.4g}", f"{mm:.4g}", f"{ss:.4g}",
+             "MM" if mm < ss else "SS"]
+            for rate, mm, ss in zip(self.rates, self.mm_costs, self.ss_costs)
+        ]
+        table = format_table(
+            ["accesses/sec", "$MM", "$SS", "cheaper"], rows,
+            title="Figure 2: operation cost vs access rate",
+        )
+        return (
+            f"{table}\n\nbreakeven: {self.breakeven_rate:.4g} accesses/sec "
+            f"(Ti = {self.breakeven_interval:.1f} s — the updated "
+            f"5-minute rule)"
+        )
+
+
+def figure2(catalog: Optional[CostCatalog] = None,
+            points: int = 25) -> Figure2Result:
+    cat = catalog if catalog is not None else CostCatalog()
+    report = breakeven_report(cat)
+    rates = logspace_rates(report.rate_ops_per_sec / 100,
+                           report.rate_ops_per_sec * 100, points)
+    model = OperationCostModel(cat)
+    curves = model.curves(rates)
+    return Figure2Result(
+        rates=rates,
+        mm_costs=curves["MM"],
+        ss_costs=curves["SS"],
+        breakeven_rate=report.rate_ops_per_sec,
+        breakeven_interval=report.interval_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — Bw-tree vs MassTree cost, size-dependent crossover
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure3Result:
+    comparison_paper: MainMemoryComparison
+    comparison_measured: MainMemoryComparison
+    px_measured: float
+    mx_measured: float
+    database_bytes: float
+    rates: List[float]
+    bwtree_costs: List[float]
+    masstree_costs: List[float]
+    crossover_paper: float
+    crossover_measured: float
+
+    def shape_ok(self) -> bool:
+        """Bw-tree cheaper below the crossover, MassTree above; the
+        crossover scales inversely with database size."""
+        ok = True
+        for rate, bw, mt in zip(self.rates, self.bwtree_costs,
+                                self.masstree_costs):
+            if rate < self.crossover_measured * 0.98 and bw > mt:
+                ok = False
+            if rate > self.crossover_measured * 1.02 and mt > bw:
+                ok = False
+        bigger_db = self.comparison_measured.breakeven_rate_ops_per_sec(
+            self.database_bytes * 10
+        )
+        scaling = abs(bigger_db / (self.crossover_measured * 10) - 1) < 1e-6
+        return ok and scaling
+
+    def render(self) -> str:
+        rows = [
+            [f"{rate:,.0f}", f"{bw:.4g}", f"{mt:.4g}",
+             "masstree" if mt < bw else "bwtree"]
+            for rate, bw, mt in zip(self.rates, self.bwtree_costs,
+                                    self.masstree_costs)
+        ]
+        table = format_table(
+            ["ops/sec", "$DM (Bw-tree)", "$MTM (MassTree)", "cheaper"],
+            rows,
+            title=(
+                "Figure 3: Bw-tree vs MassTree cost "
+                f"(S = {self.database_bytes / 1e9:.2f} GB)"
+            ),
+        )
+        return (
+            f"{table}\n\n"
+            f"measured Px = {self.px_measured:.2f} (paper 2.6), "
+            f"Mx = {self.mx_measured:.2f} (paper 2.1)\n"
+            f"crossover: measured {self.crossover_measured:,.0f} ops/s, "
+            f"paper-constants {self.crossover_paper:,.0f} ops/s"
+        )
+
+
+def figure3(record_count: int = 20_000,
+            measure_operations: int = 8_000,
+            database_bytes: float = 6.1e9,
+            points: int = 17) -> Figure3Result:
+    measurement = measure_px_mx(record_count=record_count,
+                                measure_operations=measure_operations)
+    measured = measurement.comparison()
+    paper = paper_comparison()
+    crossover_measured = measured.breakeven_rate_ops_per_sec(database_bytes)
+    crossover_paper = paper.breakeven_rate_ops_per_sec(database_bytes)
+    rates = logspace_rates(crossover_measured / 30,
+                           crossover_measured * 30, points)
+    curves = measured.curves(rates, database_bytes)
+    return Figure3Result(
+        comparison_paper=paper,
+        comparison_measured=measured,
+        px_measured=measurement.px,
+        mx_measured=measurement.mx,
+        database_bytes=database_bytes,
+        rates=rates,
+        bwtree_costs=curves["bwtree"],
+        masstree_costs=curves["masstree"],
+        crossover_paper=crossover_paper,
+        crossover_measured=crossover_measured,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — the effect of cheaper I/O execution paths
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure7Result:
+    r_kernel: float
+    r_user: float
+    rates: List[float]
+    mm_costs: List[float]
+    ss_costs_kernel: List[float]
+    ss_costs_user: List[float]
+    breakeven_kernel: float
+    breakeven_user: float
+
+    def shape_ok(self) -> bool:
+        """User-level I/O dominates the kernel path: a smaller R, a lower
+        SS cost line at every rate, and a shorter breakeven interval
+        (equivalently, a higher breakeven rate) — Section 7.1.1's claim."""
+        dominated = all(
+            user <= kernel
+            for user, kernel in zip(self.ss_costs_user,
+                                    self.ss_costs_kernel)
+        )
+        return dominated and self.r_user < self.r_kernel \
+            and self.breakeven_user > self.breakeven_kernel
+
+    def render(self) -> str:
+        rows = [
+            [f"{rate:.4g}", f"{mm:.4g}", f"{sk:.4g}", f"{su:.4g}"]
+            for rate, mm, sk, su in zip(
+                self.rates, self.mm_costs,
+                self.ss_costs_kernel, self.ss_costs_user)
+        ]
+        table = format_table(
+            ["accesses/sec", "$MM",
+             f"$SS kernel (R={self.r_kernel:.1f})",
+             f"$SS user (R={self.r_user:.1f})"],
+            rows,
+            title="Figure 7: SS cost under kernel vs user-level I/O paths",
+        )
+        return (
+            f"{table}\n\nbreakeven rate: kernel "
+            f"{self.breakeven_kernel:.4g}/s -> user "
+            f"{self.breakeven_user:.4g}/s (interval "
+            f"{1 / self.breakeven_kernel:.1f}s -> "
+            f"{1 / self.breakeven_user:.1f}s)"
+        )
+
+
+def figure7(record_count: int = 20_000,
+            measure_operations: int = 6_000,
+            points: int = 20) -> Figure7Result:
+    """Measure R under both I/O paths, then price the cost curves."""
+    base = StackConfig(record_count=record_count, cores=4,
+                       measure_operations=measure_operations,
+                       warmup_operations=measure_operations // 3)
+    r_user = measure_direct_r(base)
+    r_kernel = measure_direct_r(base.replace(io_path=IoPathKind.KERNEL))
+    cat_user = CostCatalog().with_r(r_user)
+    cat_kernel = CostCatalog().with_r(r_kernel)
+    be_user = breakeven_rate_ops_per_sec(cat_user)
+    be_kernel = breakeven_rate_ops_per_sec(cat_kernel)
+    rates = logspace_rates(min(be_user, be_kernel) / 50,
+                           max(be_user, be_kernel) * 50, points)
+    model_user = OperationCostModel(cat_user)
+    model_kernel = OperationCostModel(cat_kernel)
+    return Figure7Result(
+        r_kernel=r_kernel,
+        r_user=r_user,
+        rates=rates,
+        mm_costs=[model_user.mm_cost(rate).total for rate in rates],
+        ss_costs_kernel=[
+            model_kernel.ss_cost(rate).total for rate in rates
+        ],
+        ss_costs_user=[model_user.ss_cost(rate).total for rate in rates],
+        breakeven_kernel=be_kernel,
+        breakeven_user=be_user,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — compression adds a third (CSS) cost regime
+# ----------------------------------------------------------------------
+
+@dataclass
+class Figure8Result:
+    compression_ratio_rle: float
+    compression_ratio_deflate: float
+    r_css: float
+    rates: List[float]
+    mm_costs: List[float]
+    ss_costs: List[float]
+    css_costs: List[float]
+    css_to_ss_rate: float
+    ss_to_mm_rate: float
+
+    def shape_ok(self) -> bool:
+        """Three regimes left to right: CSS, then SS, then MM."""
+        if not (0 < self.css_to_ss_rate < self.ss_to_mm_rate):
+            return False
+        for rate, mm, ss, css in zip(self.rates, self.mm_costs,
+                                     self.ss_costs, self.css_costs):
+            winner = min((mm, "MM"), (ss, "SS"), (css, "CSS"))[1]
+            if rate < self.css_to_ss_rate * 0.98 and winner != "CSS":
+                return False
+            if (self.css_to_ss_rate * 1.02 < rate
+                    < self.ss_to_mm_rate * 0.98 and winner != "SS"):
+                return False
+            if rate > self.ss_to_mm_rate * 1.02 and winner != "MM":
+                return False
+        return True
+
+    def render(self) -> str:
+        rows = [
+            [f"{rate:.4g}", f"{mm:.4g}", f"{ss:.4g}", f"{css:.4g}",
+             min((mm, "MM"), (ss, "SS"), (css, "CSS"))[1]]
+            for rate, mm, ss, css in zip(self.rates, self.mm_costs,
+                                         self.ss_costs, self.css_costs)
+        ]
+        table = format_table(
+            ["accesses/sec", "$MM", "$SS", "$CSS", "cheapest"], rows,
+            title="Figure 8: MM / SS / compressed-SS cost regimes",
+        )
+        return (
+            f"{table}\n\nmeasured compression ratios: RLE "
+            f"{self.compression_ratio_rle:.2f}, DEFLATE "
+            f"{self.compression_ratio_deflate:.2f}; CSS execution ratio "
+            f"r_css = {self.r_css:.1f}\nregime boundaries: CSS->SS at "
+            f"{self.css_to_ss_rate:.4g}/s, SS->MM at "
+            f"{self.ss_to_mm_rate:.4g}/s"
+        )
+
+
+def figure8(record_count: int = 2_000, value_bytes: int = 100,
+            points: int = 25,
+            catalog: Optional[CostCatalog] = None) -> Figure8Result:
+    """Measure real compression ratios, then price the three-tier model."""
+    cat = catalog if catalog is not None else CostCatalog()
+    spec = WorkloadSpec(record_count=record_count, value_bytes=value_bytes,
+                        name="fig8")
+    corpus = [value for __, value in WorkloadGenerator(spec).load_items()]
+    # Page-sized payloads: concatenate ~27 values per page image.
+    per_page = max(1, int(cat.page_bytes // max(1, value_bytes)))
+    pages = [
+        b"".join(corpus[i:i + per_page])
+        for i in range(0, len(corpus), per_page)
+    ]
+    rle = measure_corpus(RleCodec(), pages)
+    deflate = measure_corpus(DeflateCodec(), pages)
+    # CSS execution ratio: an SS op plus decompression of a page, expressed
+    # in MM-operation units.  The calibrated MM operation is ~1 core-us
+    # (ROPS = 4e6 over 4 cores), so the ratio adds decompress-us directly.
+    from ..hardware.cpu import CostTable
+    costs = CostTable()
+    mm_core_us = 1.0
+    decompress_us = costs.decompress_per_byte * cat.page_bytes
+    r_css = cat.r + decompress_us / mm_core_us
+    css = CssParameters(compression_ratio=deflate.ratio, r_css=r_css)
+    model = OperationCostModel(cat, css)
+    from ..core.tiers import TierAdvisor
+    advisor = TierAdvisor(cat, css, include_css=True)
+    boundaries = advisor.boundaries()
+    low = boundaries.css_to_ss_rate / 50
+    high = boundaries.ss_to_mm_rate * 50
+    rates = logspace_rates(low, high, points)
+    curves = model.curves(rates, include_css=True)
+    return Figure8Result(
+        compression_ratio_rle=rle.ratio,
+        compression_ratio_deflate=deflate.ratio,
+        r_css=r_css,
+        rates=rates,
+        mm_costs=curves["MM"],
+        ss_costs=curves["SS"],
+        css_costs=curves["CSS"],
+        css_to_ss_rate=boundaries.css_to_ss_rate,
+        ss_to_mm_rate=boundaries.ss_to_mm_rate,
+    )

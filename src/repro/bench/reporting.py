@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment tables and series.
+
+Benchmarks print the same rows/series the paper's figures show; these
+helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) if _numeric(cell)
+                      else cell.ljust(widths[i])
+                      for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    lines = [f"series {name} ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>14}  {_fmt(y):>14}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("-", "").replace(".", "")
+    stripped = stripped.replace("e", "").replace("+", "").replace("%", "")
+    return stripped.isdigit() if stripped else False

@@ -1,0 +1,12 @@
+"""Bw-tree data component (Levandoski, Lomet, Sengupta — ICDE 2013).
+
+The ordered key/value store the paper's Deuteronomy measurements run on:
+delta-updated logical pages over a mapping table, backed by the LLAMA
+log-structured cache/storage subsystem in :mod:`repro.storage`.
+"""
+
+from .node import InnerNode
+from .tree import BwTree, BwTreeConfig, OpResult, RecoveryError
+
+__all__ = ["BwTree", "BwTreeConfig", "OpResult", "InnerNode",
+           "RecoveryError"]

@@ -1,0 +1,870 @@
+"""The Bw-tree: a latch-free-style B-tree over the LLAMA storage layer.
+
+This is the data component of Deuteronomy as the paper uses it:
+
+* data (leaf) pages are logical pages in the :class:`MappingTable`, updated
+  by prepending delta records and consolidated when chains grow long
+  (Levandoski et al., ICDE 2013);
+* **blind updates** (Section 6.2) post a delta to the mapping-table entry
+  without requiring the base page in memory — the key I/O-avoidance trick;
+* index pages are always main-memory resident (the paper's assumption) and
+  accounted against DRAM;
+* leaf pages flow through the :class:`PageCache`: hot in DRAM, cold as
+  variable-size/delta images in the log-structured store.
+
+The simulation charges every primitive the tree executes to the machine's
+CPU model, so per-operation core-microseconds — and from them R, ROPS, and
+the mixed-workload curves — are emergent measurements.
+
+Simplifications relative to the C++ original, none of which affect the
+cost analysis: operations are single-threaded (the latch-free CAS protocol
+is charged for, not raced), and the tree keeps explicit parent pointers
+instead of performing retry-based structure-modification installs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..hardware.machine import Machine
+from ..hardware.metrics import CounterSet
+from ..storage.cache import EvictionPolicy, PageCache
+from ..storage.checkpoint import CheckpointManager
+from ..storage.gc import GarbageCollector
+from ..storage.log_store import LogStructuredStore
+from ..storage.mapping_table import MappingTable, PageEntry
+from ..storage.pages import DataPageState, DeltaKind, Record, RecordDelta
+from .node import InnerNode
+
+
+class RecoveryError(RuntimeError):
+    """Raised when a tree cannot be rebuilt from flash contents."""
+
+MAPPING_ENTRY_BYTES = 64   # DRAM charged per mapping-table entry
+DRAM_TAG_INDEX = "bwtree_index"
+DRAM_TAG_MAPPING = "mapping_table"
+
+
+@dataclass(frozen=True)
+class BwTreeConfig:
+    """Tuning knobs; defaults reproduce the paper's configuration."""
+
+    max_page_bytes: int = 4096          # paper Section 4.1
+    # Consolidated pages below this size merge into a sibling (0 disables
+    # underflow merging; empty pages always collapse).
+    min_page_bytes: int = 256
+    consolidate_threshold: int = 8      # delta-chain length trigger
+    blind_chain_limit: int = 64         # fetch+consolidate past this
+    max_flash_fragments: int = 4        # delta images before full rewrite
+    inner_fanout: int = 128
+    cache_capacity_bytes: Optional[int] = None
+    eviction_policy: EvictionPolicy = EvictionPolicy.LRU
+    ti_seconds: float = 45.0
+    record_cache: bool = False
+    segment_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.max_page_bytes < 256:
+            raise ValueError("max_page_bytes unreasonably small")
+        if self.consolidate_threshold < 1:
+            raise ValueError("consolidate_threshold must be >= 1")
+        if self.inner_fanout < 4:
+            raise ValueError("inner_fanout must be >= 4")
+
+
+@dataclass
+class OpResult:
+    """Outcome of one tree operation with its cost-relevant facts."""
+
+    value: Optional[bytes] = None
+    found: bool = False
+    ios: int = 0
+    record_cache_hit: bool = False
+    latency_us: float = 0.0   # execution + device service time
+
+    @property
+    def is_ss(self) -> bool:
+        """True when the operation needed secondary storage (>= 1 I/O)."""
+        return self.ios > 0
+
+
+class BwTree:
+    """A byte-keyed ordered key/value store with a paged cache underneath."""
+
+    def __init__(self, machine: Machine,
+                 config: Optional[BwTreeConfig] = None,
+                 store: Optional[LogStructuredStore] = None,
+                 _defer_root: bool = False) -> None:
+        self.machine = machine
+        self.config = config if config is not None else BwTreeConfig()
+        self.mapping_table = MappingTable()
+        self.store = store if store is not None else LogStructuredStore(
+            machine, segment_bytes=self.config.segment_bytes
+        )
+        self.cache = PageCache(
+            machine,
+            self.mapping_table,
+            self.store,
+            capacity_bytes=self.config.cache_capacity_bytes,
+            policy=self.config.eviction_policy,
+            ti_seconds=self.config.ti_seconds,
+            record_cache=self.config.record_cache,
+            max_flash_fragments=self.config.max_flash_fragments,
+        )
+        self.checkpoints = CheckpointManager(self.store, self.mapping_table)
+        self.gc = GarbageCollector(machine, self.store, self.mapping_table,
+                                   checkpoint_manager=self.checkpoints)
+        self.counters = CounterSet()
+        self._inners: Dict[int, InnerNode] = {}
+        self._inner_sizes: Dict[int, int] = {}
+        self._next_inner_id = -1
+        self._parent: Dict[int, int] = {}   # child id -> inner node id
+        self._timestamp = 0
+        if not _defer_root:
+            root_entry = self._allocate_leaf()
+            self.root_id = root_entry.page_id
+
+    # ------------------------------------------------------------------
+    # allocation and DRAM accounting helpers
+    # ------------------------------------------------------------------
+
+    def _allocate_leaf(self) -> PageEntry:
+        entry = self.mapping_table.allocate()
+        self.machine.dram.allocate(MAPPING_ENTRY_BYTES, DRAM_TAG_MAPPING)
+        self.cache.register(entry)
+        return entry
+
+    def _free_leaf(self, entry: PageEntry) -> None:
+        if self.cache.is_tracked(entry.page_id):
+            # Drop without flushing: the page is logically gone.
+            self.cache.forget(entry)
+        for addr in entry.flash_chain:
+            self.store.invalidate(addr)
+        entry.flash_chain = []
+        entry.state = None
+        self.mapping_table.free(entry.page_id)
+        self.machine.dram.free(MAPPING_ENTRY_BYTES, DRAM_TAG_MAPPING)
+        self._parent.pop(entry.page_id, None)
+
+    def _new_inner(self, keys: List[bytes], children: List[int]) -> InnerNode:
+        node = InnerNode(self._next_inner_id, keys, children)
+        self._next_inner_id -= 1
+        self._inners[node.node_id] = node
+        self._inner_sizes[node.node_id] = node.size_bytes
+        self.machine.dram.allocate(node.size_bytes, DRAM_TAG_INDEX)
+        for child in children:
+            self._parent[child] = node.node_id
+        return node
+
+    def _reaccount_inner(self, node: InnerNode) -> None:
+        old = self._inner_sizes[node.node_id]
+        new = node.size_bytes
+        if new > old:
+            self.machine.dram.allocate(new - old, DRAM_TAG_INDEX)
+        elif new < old:
+            self.machine.dram.free(old - new, DRAM_TAG_INDEX)
+        self._inner_sizes[node.node_id] = new
+
+    def _free_inner(self, node: InnerNode) -> None:
+        self.machine.dram.free(
+            self._inner_sizes.pop(node.node_id), DRAM_TAG_INDEX
+        )
+        del self._inners[node.node_id]
+        self._parent.pop(node.node_id, None)
+
+    def _next_timestamp(self) -> int:
+        self._timestamp += 1
+        return self._timestamp
+
+    # ------------------------------------------------------------------
+    # descent
+    # ------------------------------------------------------------------
+
+    def _descend(self, key: bytes) -> PageEntry:
+        """Walk from the root to the covering leaf, charging CPU costs."""
+        cpu = self.machine.cpu
+        node_id = self.root_id
+        while node_id < 0:
+            node = self._inners[node_id]
+            cpu.charge("pointer_chase", category="bwtree")
+            cpu.charge("page_binary_search_step", node.search_steps(),
+                       category="bwtree")
+            node_id = node.child_for(key)
+        cpu.charge("mapping_table_lookup", category="bwtree")
+        return self.mapping_table.get(node_id)
+
+    def _begin_op(self) -> Tuple[float, float]:
+        self.machine.begin_operation()
+        window = self.machine.latency_window()
+        self.machine.cpu.charge("op_dispatch", category="bwtree")
+        self.machine.cpu.charge("epoch_protect", category="bwtree")
+        return window
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point lookup; returns the value or ``None``."""
+        return self.get_with_stats(key).value
+
+    def get_with_stats(self, key: bytes) -> OpResult:
+        """Point lookup returning the value plus cost-relevant facts."""
+        self._validate_key(key)
+        window = self._begin_op()
+        entry = self._descend(key)
+        self.cache.touch(entry)
+        result = OpResult()
+        cpu = self.machine.cpu
+
+        if entry.state is not None:
+            probe = entry.state.lookup(key)
+            cpu.charge("delta_chain_hop", probe.delta_hops,
+                       category="bwtree")
+            if not probe.base_missing:
+                # Resolved without I/O.  If the base was evicted, the answer
+                # came from a resident delta: a record-cache hit (Section
+                # 6.3).
+                if not entry.state.base_present:
+                    result.record_cache_hit = True
+                self._finish_read(entry, probe, result)
+                self._post_op(entry, result, window)
+                return result
+
+        # Base page (and possibly flushed deltas) must come from flash: the
+        # SS operation of the paper's model.
+        result.ios += self.cache.fetch(entry)
+        self.cache.ensure_capacity(protect={entry.page_id})
+        assert entry.state is not None
+        probe = entry.state.lookup(key)
+        assert not probe.base_missing
+        cpu.charge("delta_chain_hop", probe.delta_hops, category="bwtree")
+        self._finish_read(entry, probe, result)
+        self._post_op(entry, result, window)
+        return result
+
+    def _finish_read(self, entry: PageEntry, probe, result: OpResult) -> None:
+        cpu = self.machine.cpu
+        if probe.searched_base and entry.state is not None:
+            cpu.charge("page_binary_search_step",
+                       entry.state.base_search_steps(), category="bwtree")
+        result.found = probe.found
+        result.value = probe.value
+        if probe.found and probe.value is not None:
+            cpu.charge("copy_per_byte", len(probe.value), category="bwtree")
+
+    def contains(self, key: bytes) -> bool:
+        return self.get_with_stats(key).found
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def upsert(self, key: bytes, value: bytes) -> OpResult:
+        """Blind upsert: posts a delta without reading the base page."""
+        self._validate_kv(key, value)
+        window = self._begin_op()
+        entry = self._descend(key)
+        result = OpResult(found=True)
+        self._post_blind_delta(
+            entry,
+            RecordDelta(DeltaKind.UPSERT, key, value,
+                        self._next_timestamp()),
+            result,
+        )
+        self._post_op(entry, result, window)
+        return result
+
+    def delete(self, key: bytes) -> OpResult:
+        """Blind delete: posts a tombstone delta without reading the base."""
+        self._validate_key(key)
+        window = self._begin_op()
+        entry = self._descend(key)
+        result = OpResult()
+        self._post_blind_delta(
+            entry,
+            RecordDelta(DeltaKind.DELETE, key, None, self._next_timestamp()),
+            result,
+        )
+        self._post_op(entry, result, window)
+        return result
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert iff absent (non-blind: reads first). True on success."""
+        if self.get_with_stats(key).found:
+            return False
+        self.upsert(key, value)
+        return True
+
+    def update(self, key: bytes, value: bytes) -> bool:
+        """Update iff present (non-blind: reads first). True on success."""
+        if not self.get_with_stats(key).found:
+            return False
+        self.upsert(key, value)
+        return True
+
+    def _post_blind_delta(self, entry: PageEntry, delta: RecordDelta,
+                          result: OpResult) -> None:
+        cpu = self.machine.cpu
+        if entry.state is None:
+            # Page fully evicted: the blind update still succeeds by
+            # creating delta-only resident state (paper Section 6.2).
+            state = DataPageState(entry.page_id, base=None, deltas=[])
+            state.base_flushed = bool(entry.flash_chain)
+            if not entry.flash_chain:
+                raise RuntimeError(
+                    f"page {entry.page_id}: no state and no flash images"
+                )
+            entry.state = state
+            self.cache.register(entry)
+        state = entry.state
+        cpu.charge("install_cas", category="bwtree")
+        cpu.charge("copy_per_byte", delta.size_bytes, category="bwtree")
+        state.prepend_delta(delta)
+        self.cache.resize(entry)
+        self.cache.touch(entry)
+        if (not state.base_present
+                and state.chain_length > self.config.blind_chain_limit):
+            # Pathologically long blind chain: pay the fetch now so reads
+            # stay bounded.
+            result.ios += self.cache.fetch(entry)
+        self._maybe_consolidate(entry)
+        self._maybe_split(entry)
+        self.cache.ensure_capacity(protect={entry.page_id})
+
+    def _validate_key(self, key: bytes) -> None:
+        if not isinstance(key, bytes):
+            raise TypeError(f"keys must be bytes, got {type(key).__name__}")
+        if not key:
+            raise ValueError("keys must be non-empty")
+
+    def _validate_kv(self, key: bytes, value: bytes) -> None:
+        self._validate_key(key)
+        if not isinstance(value, bytes):
+            raise TypeError(
+                f"values must be bytes, got {type(value).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # consolidation / split / merge
+    # ------------------------------------------------------------------
+
+    def _maybe_consolidate(self, entry: PageEntry) -> None:
+        state = entry.state
+        if state is None or not state.base_present:
+            return
+        if state.chain_length < self.config.consolidate_threshold:
+            return
+        self._consolidate(entry)
+
+    def _consolidate(self, entry: PageEntry) -> None:
+        state = entry.state
+        assert state is not None and state.base_present
+        new_base_bytes = state.consolidate()
+        self.machine.cpu.charge("consolidate_per_byte", new_base_bytes,
+                                category="bwtree")
+        self.counters.add("bwtree.consolidations")
+        self.cache.resize(entry)
+        if not state.base:
+            self._collapse_empty_leaf(entry)
+            return
+        if new_base_bytes < self.config.min_page_bytes:
+            if self._maybe_merge_underflow(entry):
+                return
+        self._maybe_split(entry)
+
+    def _maybe_split(self, entry: PageEntry) -> None:
+        state = entry.state
+        if state is None or not state.base_present:
+            return
+        if state.base_size_bytes <= self.config.max_page_bytes:
+            return
+        if state.deltas:
+            # Fold the chain first so the split sees the true contents.
+            self._consolidate(entry)
+            state = entry.state
+            if state is None or not state.base_present:
+                return
+            if state.base_size_bytes <= self.config.max_page_bytes:
+                return
+        assert state.base is not None
+        if len(state.base) < 2:
+            return  # single giant record; nothing to split
+        self._split_leaf(entry)
+
+    def _split_leaf(self, entry: PageEntry) -> None:
+        state = entry.state
+        assert state is not None and state.base is not None
+        records = state.base
+        mid = len(records) // 2
+        separator = records[mid].key
+        lower, upper = records[:mid], records[mid:]
+
+        sibling = self._allocate_leaf()
+        assert sibling.state is not None
+        sibling.state.replace_base(list(upper))
+        self.cache.resize(sibling)
+
+        state.replace_base(list(lower))
+        self.cache.resize(entry)
+
+        self.machine.cpu.charge("install_cas", 2, category="bwtree")
+        self.machine.cpu.charge(
+            "copy_per_byte",
+            sum(r.size_bytes for r in upper),
+            category="bwtree",
+        )
+        self.counters.add("bwtree.leaf_splits")
+        self._install_separator(entry.page_id, separator, sibling.page_id)
+
+    def _install_separator(self, left_id: int, separator: bytes,
+                           right_id: int) -> None:
+        parent_id = self._parent.get(left_id)
+        if parent_id is None:
+            # Splitting the root: grow the tree by one level.
+            root = self._new_inner([separator], [left_id, right_id])
+            self.root_id = root.node_id
+            self.counters.add("bwtree.root_splits")
+            return
+        parent = self._inners[parent_id]
+        parent.insert_separator(separator, right_id)
+        self._parent[right_id] = parent_id
+        self._reaccount_inner(parent)
+        self.machine.cpu.charge("install_cas", category="bwtree")
+        if parent.fanout > self.config.inner_fanout:
+            self._split_inner(parent)
+
+    def _split_inner(self, node: InnerNode) -> None:
+        right_id = self._next_inner_id
+        self._next_inner_id -= 1
+        push_up, right = node.split(right_id)
+        self._inners[right_id] = right
+        self._inner_sizes[right_id] = right.size_bytes
+        self.machine.dram.allocate(right.size_bytes, DRAM_TAG_INDEX)
+        self._reaccount_inner(node)
+        for child in right.children:
+            self._parent[child] = right_id
+        self.counters.add("bwtree.inner_splits")
+        self._install_separator(node.node_id, push_up, right_id)
+
+    def _collapse_empty_leaf(self, entry: PageEntry) -> None:
+        """Remove a leaf whose consolidated contents are empty."""
+        if entry.page_id == self.root_id:
+            return  # an empty tree keeps its root leaf
+        parent_id = self._parent.get(entry.page_id)
+        if parent_id is None:
+            return
+        parent = self._inners[parent_id]
+        if parent.fanout <= 1:
+            return
+        parent.remove_child(entry.page_id)
+        self._reaccount_inner(parent)
+        self.machine.cpu.charge("install_cas", category="bwtree")
+        self.counters.add("bwtree.leaf_merges")
+        self._free_leaf(entry)
+        self._collapse_root_chain()
+
+    def _collapse_root_chain(self) -> None:
+        """Drop root inner nodes that route to a single child."""
+        while (self.root_id < 0
+               and not self._inners[self.root_id].keys
+               and self._inners[self.root_id].fanout == 1):
+            old_root = self._inners[self.root_id]
+            self.root_id = old_root.children[0]
+            self._parent.pop(self.root_id, None)
+            self._free_inner(old_root)
+
+    def _maybe_merge_underflow(self, entry: PageEntry) -> bool:
+        """Fold an underfull (freshly consolidated) leaf into a sibling.
+
+        Returns True when the leaf was merged away.  The sibling's base is
+        brought in and consolidated first, so the move is a plain ordered
+        concatenation; the sibling's own delta chain semantics are
+        untouched (its deltas stay newer than any base record).
+        """
+        if entry.page_id == self.root_id:
+            return False
+        parent_id = self._parent.get(entry.page_id)
+        if parent_id is None:
+            return False
+        parent = self._inners[parent_id]
+        if parent.fanout <= 1:
+            return False
+        index = parent.child_index(entry.page_id)
+        if index > 0:
+            sibling_id = parent.children[index - 1]
+            merge_left = True
+        elif index + 1 < parent.fanout:
+            sibling_id = parent.children[index + 1]
+            merge_left = False
+        else:
+            return False
+        if sibling_id < 0:
+            return False   # an inner node: structure is mid-rebuild
+        sibling = self.mapping_table.get(sibling_id)
+        if sibling.state is None or not sibling.state.base_present:
+            ios = self.cache.fetch(sibling)
+            self.counters.add("bwtree.ios", ios)
+        self.cache.touch(sibling)
+        sibling_state = sibling.state
+        assert sibling_state is not None
+        if sibling_state.deltas:
+            folded = sibling_state.consolidate()
+            self.machine.cpu.charge("consolidate_per_byte", folded,
+                                    category="bwtree")
+            self.cache.resize(sibling)
+        state = entry.state
+        assert state is not None and state.base is not None
+        assert sibling_state.base is not None
+        combined = (sibling_state.base_size_bytes
+                    + state.base_size_bytes)
+        if combined > self.config.max_page_bytes:
+            return False
+        moved = list(state.base)
+        if merge_left:
+            merged = list(sibling_state.base) + moved
+        else:
+            merged = moved + list(sibling_state.base)
+        sibling_state.replace_base(merged)
+        self.cache.resize(sibling)
+        self.machine.cpu.charge("install_cas", 2, category="bwtree")
+        self.machine.cpu.charge(
+            "copy_per_byte", sum(r.size_bytes for r in moved),
+            category="bwtree",
+        )
+        parent.remove_child(entry.page_id)
+        self._reaccount_inner(parent)
+        self.counters.add("bwtree.leaf_merges")
+        self.counters.add("bwtree.underflow_merges")
+        self._free_leaf(entry)
+        self._collapse_root_chain()
+        return True
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+
+    def scan(self, start: bytes, end: Optional[bytes] = None,
+             limit: Optional[int] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield (key, value) pairs with start <= key < end, in key order.
+
+        Visiting a non-resident leaf costs an SS fetch, exactly like a point
+        read.  ``end=None`` scans to the end of the keyspace.
+        """
+        self._validate_key(start)
+        emitted = 0
+        for entry in self._leaves_from(start):
+            self.machine.begin_operation()
+            self.cache.touch(entry)
+            if entry.state is None or not entry.state.base_present:
+                ios = self.cache.fetch(entry)
+                self.counters.add("bwtree.ios", ios)
+                self.cache.ensure_capacity(protect={entry.page_id})
+            assert entry.state is not None
+            for record in entry.state.iter_records():
+                if record.key < start:
+                    continue
+                if end is not None and record.key >= end:
+                    return
+                self.machine.cpu.charge(
+                    "copy_per_byte", len(record.value), category="bwtree"
+                )
+                yield record.key, record.value
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+
+    def _leaves_from(self, start: bytes) -> Iterator[PageEntry]:
+        """Leaf entries in key order, beginning at the leaf covering start."""
+        stack: List[Tuple[int, bool]] = [(self.root_id, False)]
+        # (node id, subtree fully >= start)
+        while stack:
+            node_id, unrestricted = stack.pop()
+            if node_id >= 0:
+                yield self.mapping_table.get(node_id)
+                continue
+            node = self._inners[node_id]
+            self.machine.cpu.charge("pointer_chase", category="bwtree")
+            if unrestricted:
+                children = [(c, True) for c in node.children]
+            else:
+                first = bisect.bisect_right(node.keys, start)
+                children = [(node.children[first], False)]
+                children += [(c, True) for c in node.children[first + 1:]]
+            stack.extend(reversed(children))
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, items, fill_fraction: float = 0.69) -> int:
+        """Load key-sorted ``(key, value)`` pairs into packed leaves.
+
+        Only valid on an empty tree.  Leaves are filled to
+        ``fill_fraction`` of ``max_page_bytes`` — the paper's B-tree
+        steady-state utilization is ln 2 ~ 0.69, which makes the average
+        page size Ps land near its 2.7 KB (Section 4.1); pass 1.0 for the
+        ~100%-utilized variable-page packing Deuteronomy itself achieves.
+        Returns the number of records loaded.
+        """
+        if not 0.0 < fill_fraction <= 1.0:
+            raise ValueError("fill fraction must be in (0, 1]")
+        if len(self.mapping_table) != 1 or self.root_id < 0:
+            raise ValueError("bulk_load requires a fresh, empty tree")
+        root_entry = self.mapping_table.get(self.root_id)
+        if root_entry.state is None or root_entry.state.record_count:
+            raise ValueError("bulk_load requires a fresh, empty tree")
+
+        target_bytes = self.config.max_page_bytes * fill_fraction
+        leaves: List[Tuple[bytes, int]] = []   # (min key, page id)
+        current: List[Record] = []
+        current_bytes = 0
+        count = 0
+        previous_key: Optional[bytes] = None
+
+        def seal() -> None:
+            nonlocal current, current_bytes
+            if not current:
+                return
+            entry = self._allocate_leaf()
+            assert entry.state is not None
+            entry.state.replace_base(list(current))
+            self.cache.resize(entry)
+            self.machine.cpu.charge(
+                "copy_per_byte",
+                sum(r.size_bytes for r in current),
+                category="bwtree",
+            )
+            leaves.append((current[0].key, entry.page_id))
+            current = []
+            current_bytes = 0
+
+        for key, value in items:
+            self._validate_kv(key, value)
+            if previous_key is not None and key <= previous_key:
+                raise ValueError(
+                    "bulk_load input must be strictly key-sorted"
+                )
+            previous_key = key
+            record = Record(key, value, self._next_timestamp())
+            if current and current_bytes + record.size_bytes > target_bytes:
+                seal()
+            current.append(record)
+            current_bytes += record.size_bytes
+            count += 1
+        seal()
+        if not leaves:
+            return 0
+        # Retire the empty bootstrap root and index the packed leaves.
+        self._free_leaf(root_entry)
+        leaves.sort()
+        self._bulk_build_index(leaves)
+        self.counters.add("bwtree.bulk_loaded", count)
+        self.cache.ensure_capacity()
+        return count
+
+    # ------------------------------------------------------------------
+    # maintenance and reporting
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush every dirty page, persist the mapping table, and force
+        everything to flash.  After this the tree is recoverable via
+        :meth:`recover`."""
+        for entry in self.mapping_table.entries():
+            if entry.dirty:
+                self.cache.flush_page(entry)
+        self.checkpoints.write_checkpoint()
+
+    def collect_garbage(self, target_utilization: float = 0.8) -> int:
+        """Checkpoint, clean segments, and re-checkpoint.
+
+        Cleaning relocates images, so the persisted mapping-table snapshot
+        must be rewritten afterwards or recovery would chase dropped
+        addresses.  Returns the number of segments cleaned.
+        """
+        self.checkpoint()
+        cleaned = self.gc.run_until_utilization(target_utilization)
+        if cleaned:
+            self.checkpoint()
+        return cleaned
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, machine: Machine, store: LogStructuredStore,
+                config: Optional[BwTreeConfig] = None) -> "BwTree":
+        """Rebuild a tree from flash after a crash.
+
+        Reads the (unique) live checkpoint image, restores the mapping
+        table, and rebuilds the main-memory index by scanning each page's
+        chain head for its minimum key — every read is charged to the
+        machine like any other recovery I/O.  State flushed after the last
+        checkpoint is not visible here; committed transactional updates
+        are restored by the TC's redo replay (Section 6.2: recovery uses
+        the same blind-update path as normal operation).
+        """
+        found = CheckpointManager.find_latest(store)
+        if found is None:
+            raise RecoveryError("no live checkpoint image on flash")
+        addr, image = found
+        tree = cls(machine, config, store=store, _defer_root=True)
+        tree.checkpoints.note_relocated(addr)
+        leaf_keys: List[Tuple[bytes, int]] = []
+        empty_pages: List[PageEntry] = []
+        for page_id, (chain, fdr) in sorted(image.chains().items()):
+            entry = tree.mapping_table.restore_entry(page_id, chain, fdr)
+            machine.dram.allocate(MAPPING_ENTRY_BYTES, DRAM_TAG_MAPPING)
+            min_key = tree._recovered_min_key(entry)
+            if min_key is None:
+                empty_pages.append(entry)
+            else:
+                leaf_keys.append((min_key, page_id))
+        leaf_keys.sort()
+        if not leaf_keys:
+            # Nothing (or only empty pages) on flash: fresh root, drop the
+            # empty remnants.
+            for entry in empty_pages:
+                tree._free_leaf(entry)
+            root_entry = tree._allocate_leaf()
+            tree.root_id = root_entry.page_id
+            return tree
+        for entry in empty_pages:
+            tree._free_leaf(entry)
+        tree._bulk_build_index(leaf_keys)
+        return tree
+
+    def _recovered_min_key(self, entry: PageEntry) -> Optional[bytes]:
+        """Scan a restored page's chain for its smallest key (one pass)."""
+        keys: List[bytes] = []
+        for flash_addr in entry.flash_chain:
+            try:
+                result = self.store.read(flash_addr)
+            except KeyError as exc:
+                raise RecoveryError(
+                    f"page {entry.page_id}: checkpoint references "
+                    f"{flash_addr} which is no longer on flash "
+                    "(GC ran without re-checkpointing?)"
+                ) from exc
+            image = result.image
+            if image.kind == "full":
+                if image.records:
+                    keys.append(image.records[0].key)
+            else:
+                keys.extend(delta.key for delta in image.deltas)
+        if not keys:
+            return None
+        return min(keys)
+
+    def _bulk_build_index(self, leaf_keys: List[Tuple[bytes, int]]) -> None:
+        """Build the inner-node structure over sorted (min key, pid)."""
+        level = leaf_keys
+        fanout = self.config.inner_fanout
+        while len(level) > 1:
+            next_level: List[Tuple[bytes, int]] = []
+            for start in range(0, len(level), fanout):
+                group = level[start:start + fanout]
+                if len(group) == 1 and next_level:
+                    # Avoid a trailing 1-child node: merge into previous.
+                    prev_key, prev_id = next_level[-1]
+                    prev_node = self._inners[prev_id]
+                    prev_node.keys.append(group[0][0])
+                    prev_node.children.append(group[0][1])
+                    self._parent[group[0][1]] = prev_id
+                    self._reaccount_inner(prev_node)
+                    continue
+                keys = [key for key, __ in group[1:]]
+                children = [node_id for __, node_id in group]
+                node = self._new_inner(keys, children)
+                next_level.append((group[0][0], node.node_id))
+            level = next_level
+        self.root_id = level[0][1]
+
+    def simulate_crash_and_recover(self) -> "BwTree":
+        """Power-loss drill: lose all DRAM and the open write buffer, then
+        recover from flash.  Returns the recovered tree; this tree object
+        must no longer be used."""
+        self.store.simulate_crash()
+        self.machine.dram.wipe()
+        return BwTree.recover(self.machine, self.store, self.config)
+
+    def warm_all(self) -> int:
+        """Fetch every leaf into DRAM (for main-memory experiments)."""
+        ios = 0
+        for entry in self.mapping_table.entries():
+            if entry.state is None or not entry.state.base_present:
+                ios += self.cache.fetch(entry)
+        return ios
+
+    def count_records(self) -> int:
+        """Exact logical record count (fetches evicted pages)."""
+        total = 0
+        for entry in self.mapping_table.entries():
+            if entry.state is None or not entry.state.base_present:
+                self.cache.fetch(entry)
+            assert entry.state is not None
+            total += entry.state.record_count
+        return total
+
+    def dram_footprint_bytes(self) -> int:
+        """Resident bytes attributable to this tree (data + index + map)."""
+        dram = self.machine.dram
+        return (
+            dram.bytes_for("page_cache")
+            + dram.bytes_for(DRAM_TAG_INDEX)
+            + dram.bytes_for(DRAM_TAG_MAPPING)
+        )
+
+    def depth(self) -> int:
+        """Tree height in levels (1 = a single leaf)."""
+        depth = 1
+        node_id = self.root_id
+        while node_id < 0:
+            depth += 1
+            node_id = self._inners[node_id].children[0]
+        return depth
+
+    def leaf_page_ids(self) -> List[int]:
+        return [entry.page_id for entry in self.mapping_table.entries()]
+
+    def average_leaf_bytes(self) -> float:
+        """Average serialized leaf size — the paper's Ps (~2.7 KB)."""
+        entries = self.mapping_table.entries()
+        if not entries:
+            return 0.0
+        total = 0
+        counted = 0
+        for entry in entries:
+            if entry.state is not None and entry.state.base_present:
+                total += entry.state.base_size_bytes
+                counted += 1
+            elif entry.flash_chain:
+                total += entry.flash_chain[0].nbytes
+                counted += 1
+        if counted == 0:
+            return 0.0
+        return total / counted
+
+    def _post_op(self, entry: PageEntry, result: OpResult,
+                 window: Optional[Tuple[float, float]] = None) -> None:
+        if window is not None:
+            result.latency_us = self.machine.observe_latency(window)
+        self.counters.add("bwtree.ops")
+        self.counters.add("bwtree.ios", result.ios)
+        if result.ios > 0:
+            self.counters.add("bwtree.ss_ops")
+        else:
+            self.counters.add("bwtree.mm_ops")
+        if result.record_cache_hit:
+            self.counters.add("bwtree.record_cache_hits")
+        self._maybe_consolidate(entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BwTree(pages={len(self.mapping_table)}, depth={self.depth()}, "
+            f"resident={self.cache.resident_pages})"
+        )

@@ -1,0 +1,150 @@
+"""The paper's contribution: the cost/performance model (Equations 1-8).
+
+* :mod:`catalog` — infrastructure prices and measured quantities (§3.1, §4.1)
+* :mod:`mixture` — mixed MM/SS workload throughput and R derivation (§2)
+* :mod:`costmodel` — MM / SS / CSS operation pricing (§3.2, §7.2)
+* :mod:`breakeven` — the updated five-minute rule (§4.2)
+* :mod:`mainmemory` — Bw-tree vs MassTree crossover (§5)
+* :mod:`tiers` — tier selection and cost-optimal cache sizing
+* :mod:`calibration` — measuring the model's inputs from the simulator
+"""
+
+from .breakeven import (
+    BreakevenReport,
+    breakeven_interval_seconds,
+    breakeven_rate_ops_per_sec,
+    breakeven_report,
+    classic_gray_interval_seconds,
+    crossover_rate,
+    iops_price_sweep,
+    page_size_sweep,
+    record_cache_breakeven_seconds,
+)
+from .calibration import (
+    MeasuredRun,
+    PxMxMeasurement,
+    RExperiment,
+    StackConfig,
+    build_loaded_stack,
+    catalog_from_measurements,
+    derive_r,
+    measure_direct_r,
+    measure_p0,
+    measure_point,
+    measure_px_mx,
+    run_measurement,
+)
+from .catalog import CostCatalog
+from .costmodel import (
+    CssParameters,
+    OperationCost,
+    OperationCostModel,
+    logspace_rates,
+)
+from .mainmemory import MainMemoryComparison, paper_comparison
+from .mixture import (
+    MeasuredPoint,
+    MixtureModel,
+    RDerivation,
+    derive_r as derive_r_from_point,
+    mixed_execution_time,
+    mixed_throughput,
+    relative_performance,
+)
+from .adaptive import (
+    AdaptiveCacheController,
+    PacedDriver,
+    PacedPhaseStats,
+)
+from .costmeter import CostBill, meter_bill
+from .sensitivity import (
+    PriceTrends,
+    breakeven_trajectory,
+    cpu_term_trajectory,
+    grid_sweep,
+    project_catalog,
+    tornado,
+)
+from .technology import (
+    CmmCostModel,
+    CmmParameters,
+    FourTierAdvisor,
+    HddParameters,
+    HddViabilityReport,
+    MemoryTier,
+    NvramCostModel,
+    NvramParameters,
+    hdd_breakeven_interval_seconds,
+    hdd_viability,
+)
+from .tiers import (
+    CacheSizingAdvisor,
+    CacheSizingResult,
+    Tier,
+    TierAdvisor,
+    TierBoundaries,
+)
+
+__all__ = [
+    "CostCatalog",
+    "OperationCostModel",
+    "OperationCost",
+    "CssParameters",
+    "logspace_rates",
+    "MixtureModel",
+    "MeasuredPoint",
+    "RDerivation",
+    "mixed_execution_time",
+    "mixed_throughput",
+    "relative_performance",
+    "derive_r_from_point",
+    "BreakevenReport",
+    "breakeven_interval_seconds",
+    "breakeven_rate_ops_per_sec",
+    "breakeven_report",
+    "classic_gray_interval_seconds",
+    "crossover_rate",
+    "record_cache_breakeven_seconds",
+    "page_size_sweep",
+    "iops_price_sweep",
+    "MainMemoryComparison",
+    "paper_comparison",
+    "Tier",
+    "TierAdvisor",
+    "TierBoundaries",
+    "CacheSizingAdvisor",
+    "CacheSizingResult",
+    "NvramParameters",
+    "NvramCostModel",
+    "MemoryTier",
+    "FourTierAdvisor",
+    "HddParameters",
+    "HddViabilityReport",
+    "hdd_viability",
+    "hdd_breakeven_interval_seconds",
+    "CmmParameters",
+    "CmmCostModel",
+    "AdaptiveCacheController",
+    "PacedDriver",
+    "PacedPhaseStats",
+    "CostBill",
+    "meter_bill",
+    "PriceTrends",
+    "project_catalog",
+    "breakeven_trajectory",
+    "cpu_term_trajectory",
+    "grid_sweep",
+    "tornado",
+    "StackConfig",
+    "MeasuredRun",
+    "RExperiment",
+    "PxMxMeasurement",
+    "build_loaded_stack",
+    "run_measurement",
+    "measure_point",
+    "measure_p0",
+    "derive_r",
+    "measure_direct_r",
+    "measure_px_mx",
+    "catalog_from_measurements",
+]

@@ -1,0 +1,136 @@
+"""The updated five-minute rule (paper Section 4.2, Equation 6).
+
+Setting Equation (4) equal to Equation (5) and solving for the access
+interval Ti = 1/N gives the breakeven time between accesses past which a
+page is cheaper to evict:
+
+    Ti = (1 / ($M * Ps)) * [ $I/IOPS + (R - 1) * $P/ROPS ]
+
+The paper's novelty relative to Gray's original rule is the second term:
+the *processor* cost of executing the I/O path, which grows in relative
+importance as SSD IOPS get cheaper.  With the paper's constants Ti is about
+45 seconds; with records instead of pages (Section 6.3) the denominator
+shrinks by the records-per-page factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .catalog import CostCatalog
+
+
+@dataclass(frozen=True)
+class BreakevenReport:
+    """The five-minute-rule quantities for one catalog."""
+
+    interval_seconds: float          # Ti
+    rate_ops_per_sec: float          # N = 1/Ti
+    io_term_seconds: float           # contribution of $I/IOPS
+    cpu_term_seconds: float          # contribution of (R-1)*$P/ROPS
+    storage_cost_ratio: float        # MM vs SS storage, ~11x
+    execution_cost_ratio: float      # SS vs MM execution, ~9-12x
+
+    @property
+    def cpu_term_fraction(self) -> float:
+        """How much of the breakeven the I/O *execution path* contributes —
+        the term the paper adds to the classic rule."""
+        return self.cpu_term_seconds / self.interval_seconds
+
+
+def breakeven_interval_seconds(catalog: CostCatalog) -> float:
+    """Equation (6): the breakeven access interval Ti."""
+    io_term = catalog.ssd_io_dollars / catalog.iops
+    cpu_term = (catalog.r - 1.0) * (
+        catalog.processor_dollars / catalog.rops
+    )
+    return (io_term + cpu_term) / (
+        catalog.dram_per_byte * catalog.page_bytes
+    )
+
+
+def breakeven_rate_ops_per_sec(catalog: CostCatalog) -> float:
+    """N at breakeven: access a page more often than this, keep it cached."""
+    return 1.0 / breakeven_interval_seconds(catalog)
+
+
+def breakeven_report(catalog: CostCatalog | None = None) -> BreakevenReport:
+    """Full Section 4.2 derivation for a catalog."""
+    cat = catalog if catalog is not None else CostCatalog()
+    denom = cat.dram_per_byte * cat.page_bytes
+    io_term = (cat.ssd_io_dollars / cat.iops) / denom
+    cpu_term = ((cat.r - 1.0) * cat.processor_dollars / cat.rops) / denom
+    interval = io_term + cpu_term
+    return BreakevenReport(
+        interval_seconds=interval,
+        rate_ops_per_sec=1.0 / interval,
+        io_term_seconds=io_term,
+        cpu_term_seconds=cpu_term,
+        storage_cost_ratio=cat.storage_cost_ratio,
+        execution_cost_ratio=cat.execution_cost_ratio,
+    )
+
+
+def record_cache_breakeven_seconds(catalog: CostCatalog,
+                                   records_per_page: float) -> float:
+    """Section 6.3: the breakeven for caching *records* instead of pages.
+
+    A record occupies 1/records_per_page of a page, so the DRAM-rental
+    denominator shrinks and the breakeven interval shrinks with it ("when
+    there are 10 records in a page, the record breakeven is ~a tenth of the
+    page breakeven").
+    """
+    if records_per_page <= 0:
+        raise ValueError("records_per_page must be positive")
+    record_bytes = catalog.page_bytes / records_per_page
+    return breakeven_interval_seconds(
+        catalog.with_page_bytes(record_bytes)
+    )
+
+
+def classic_gray_interval_seconds(catalog: CostCatalog) -> float:
+    """Gray's original rule: I/O term only, no CPU path cost.
+
+    Included so experiments can show how much the paper's added term moves
+    the answer on modern hardware.
+    """
+    return (catalog.ssd_io_dollars / catalog.iops) / (
+        catalog.dram_per_byte * catalog.page_bytes
+    )
+
+
+def page_size_sweep(catalog: CostCatalog,
+                    page_sizes: Sequence[float]) -> List[float]:
+    """Ti across page sizes (ablation: Ps is in the denominator)."""
+    return [
+        breakeven_interval_seconds(catalog.with_page_bytes(size))
+        for size in page_sizes
+    ]
+
+
+def iops_price_sweep(catalog: CostCatalog,
+                     iops_values: Sequence[float]) -> List[float]:
+    """Ti as SSD IOPS climb at constant drive price (Section 7.1.2).
+
+    More IOPS per dollar shrink the I/O term and the breakeven interval.
+    """
+    return [
+        breakeven_interval_seconds(catalog.with_iops(iops))
+        for iops in iops_values
+    ]
+
+
+def crossover_rate(catalog: CostCatalog) -> float:
+    """The rate where Equation (4) equals Equation (5), solved directly.
+
+    Provided as a cross-check on :func:`breakeven_rate_ops_per_sec`: the
+    two derivations must agree to float precision.
+    """
+    storage_gap = (catalog.mm_storage_cost() - catalog.ss_storage_cost())
+    execution_gap = (catalog.ss_execution_cost_per_op
+                     - catalog.mm_execution_cost_per_op)
+    if execution_gap <= 0:
+        return math.inf
+    return storage_gap / execution_gap

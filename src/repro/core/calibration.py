@@ -1,0 +1,298 @@
+"""Bridging the simulated stack and the analytic model.
+
+The paper measures P0, R, ROPS, Ps, Px and Mx on its C++ prototype and
+feeds them into the cost model.  This module does the same against the
+simulated stack: it loads real workloads into the real Bw-tree / MassTree,
+runs measurement windows, and returns the model inputs.  Nothing here
+hard-codes the paper's numbers — they emerge from the machine's calibrated
+primitive costs plus the data structures' actual behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..bwtree.tree import BwTree, BwTreeConfig
+from ..hardware.iopath import IoPathKind
+from ..hardware.machine import Machine, RunSummary
+from ..masstree.tree import MassTree
+from ..workloads.ycsb import (
+    RunStats,
+    WorkloadGenerator,
+    WorkloadSpec,
+    apply_operations,
+)
+from .catalog import CostCatalog
+from .mainmemory import MainMemoryComparison
+from .mixture import MeasuredPoint, MixtureModel, RDerivation
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """How to build and drive one measured Bw-tree stack."""
+
+    record_count: int = 20_000
+    value_bytes: int = 100
+    distribution: str = "scrambled"
+    theta: float = 0.99
+    cores: int = 4
+    io_path: IoPathKind = IoPathKind.USER_LEVEL
+    cache_fraction: Optional[float] = None   # None = everything cached
+    record_cache: bool = False
+    segment_bytes: int = 1 << 18
+    seed: int = 42
+    warmup_operations: int = 2_000
+    measure_operations: int = 10_000
+    # The paper's R derivation assumes the system is not I/O bound
+    # (Section 2.2); at the paper's 2.0e5 IOPS a 4-core run saturates the
+    # SSD at tiny F, so experiments that sweep F provision the device out
+    # of the bottleneck.  ``None`` keeps the paper's SSD spec.
+    ssd_iops_override: Optional[float] = None
+
+    def replace(self, **overrides) -> "StackConfig":
+        """A copy with selected fields changed."""
+        from dataclasses import replace as dc_replace
+        return dc_replace(self, **overrides)
+
+
+@dataclass
+class MeasuredRun:
+    """One measurement window over a warmed-up stack."""
+
+    summary: RunSummary
+    stats: RunStats
+    cache_capacity_bytes: Optional[int]
+    leaf_bytes_total: int
+
+    @property
+    def f(self) -> float:
+        return self.stats.ss_fraction
+
+    @property
+    def throughput(self) -> float:
+        return self.summary.throughput_ops_per_sec
+
+    def as_point(self) -> MeasuredPoint:
+        return MeasuredPoint(
+            f=self.f,
+            throughput=self.throughput,
+            cores=self.summary.cores,
+            io_bound=self.summary.io_bound,
+        )
+
+
+def build_loaded_stack(config: StackConfig
+                       ) -> Tuple[Machine, BwTree, WorkloadGenerator]:
+    """Build a machine + Bw-tree, load the workload, shrink the cache.
+
+    After loading, the store is checkpointed, the cache is resized to
+    ``cache_fraction`` of the total leaf bytes (evicting coldest-first via
+    LRU), and accounting is reset so measurements start clean.
+    """
+    machine = Machine.paper_default(cores=config.cores,
+                                    io_path=config.io_path)
+    if config.ssd_iops_override is not None:
+        machine.ssd.spec = machine.ssd.spec.scaled_iops(
+            config.ssd_iops_override
+        )
+    tree = BwTree(machine, BwTreeConfig(
+        cache_capacity_bytes=None,
+        record_cache=config.record_cache,
+        segment_bytes=config.segment_bytes,
+    ))
+    spec = WorkloadSpec(
+        record_count=config.record_count,
+        value_bytes=config.value_bytes,
+        distribution=config.distribution,
+        theta=config.theta,
+        seed=config.seed,
+        name="calibration",
+    )
+    generator = WorkloadGenerator(spec)
+    # Bulk load at the paper's ~69% B-tree utilization so the measured Ps
+    # matches Section 4.1's 2.7 KB average page.
+    tree.bulk_load(generator.load_items())
+    tree.checkpoint()
+    # Force the open segment out so subsequent fetches really cost an I/O.
+    tree.store.flush()
+    leaf_bytes = int(tree.average_leaf_bytes() * len(tree.mapping_table))
+    if config.cache_fraction is not None:
+        if not 0.0 < config.cache_fraction <= 1.0:
+            raise ValueError("cache_fraction must be in (0, 1]")
+        capacity = max(8 * 1024, int(leaf_bytes * config.cache_fraction))
+        tree.cache.capacity_bytes = capacity
+        tree.cache.ensure_capacity()
+    machine.reset_accounting()
+    return machine, tree, generator
+
+
+def run_measurement(machine: Machine, tree: BwTree,
+                    generator: WorkloadGenerator,
+                    config: StackConfig) -> MeasuredRun:
+    """Warm up, then measure a read-only window (the paper's protocol)."""
+    if config.warmup_operations:
+        apply_operations(
+            tree, generator.operations(config.warmup_operations)
+        )
+    machine.reset_accounting()
+    stats = apply_operations(
+        tree, generator.operations(config.measure_operations)
+    )
+    summary = machine.summary()
+    leaf_bytes = int(tree.average_leaf_bytes() * len(tree.mapping_table))
+    return MeasuredRun(
+        summary=summary,
+        stats=stats,
+        cache_capacity_bytes=tree.cache.capacity_bytes,
+        leaf_bytes_total=leaf_bytes,
+    )
+
+
+def measure_point(config: StackConfig) -> MeasuredRun:
+    """Build, load, warm and measure one (F, PF) point."""
+    machine, tree, generator = build_loaded_stack(config)
+    return run_measurement(machine, tree, generator, config)
+
+
+def measure_p0(config: StackConfig) -> MeasuredRun:
+    """The all-cached baseline: F = 0, throughput = P0."""
+    return measure_point(config.replace(cache_fraction=None))
+
+
+@dataclass
+class RExperiment:
+    """R derived from simulated mixed-workload runs (paper Section 2.2)."""
+
+    p0: float
+    points: List[MeasuredRun] = field(default_factory=list)
+    derivation: Optional[RDerivation] = None
+
+    @property
+    def r_mean(self) -> float:
+        if self.derivation is None:
+            raise ValueError("experiment has not been derived yet")
+        return self.derivation.mean
+
+
+def derive_r(config: StackConfig,
+             cache_fractions: Sequence[float] = (0.8, 0.6, 0.4, 0.25, 0.12),
+             ) -> RExperiment:
+    """Measure P0 plus several cache-starved points and recover R (Eq 3)."""
+    baseline = measure_p0(config)
+    experiment = RExperiment(p0=baseline.throughput)
+    model = MixtureModel()
+    for fraction in cache_fractions:
+        experiment.points.append(
+            measure_point(config.replace(cache_fraction=fraction))
+        )
+    experiment.derivation = model.derive(
+        experiment.p0,
+        [run.as_point() for run in experiment.points],
+    )
+    return experiment
+
+
+def measure_direct_r(config: StackConfig) -> float:
+    """R as a direct per-op cost ratio: SS core-us over MM core-us.
+
+    Uses a nearly-empty cache (every read is an SS op) against the
+    all-cached baseline — the cleanest view of the execution-path ratio.
+    """
+    mm = measure_p0(config)
+    ss = measure_point(config.replace(
+        distribution="uniform",
+        cache_fraction=0.02,
+        record_cache=False,
+        ssd_iops_override=1e9,   # execution-path ratio, not device limits
+    ))
+    if ss.f < 0.5:
+        raise RuntimeError(
+            f"cold run insufficiently cold (F={ss.f:.3f}); "
+            "shrink cache_fraction"
+        )
+    # Per-op cost of a *pure* SS op, unmixing the residual MM fraction.
+    mm_us = mm.summary.core_us_per_op
+    mixed_us = ss.summary.core_us_per_op
+    ss_us = (mixed_us - (1.0 - ss.f) * mm_us) / ss.f
+    return ss_us / mm_us
+
+
+@dataclass(frozen=True)
+class PxMxMeasurement:
+    """Measured MassTree-vs-Bw-tree performance and footprint factors."""
+
+    px: float
+    mx: float
+    bwtree_us_per_op: float
+    masstree_us_per_op: float
+    bwtree_bytes: int
+    masstree_bytes: int
+
+    def comparison(self, catalog: Optional[CostCatalog] = None
+                   ) -> MainMemoryComparison:
+        return MainMemoryComparison(
+            px=self.px,
+            mx=self.mx,
+            catalog=catalog if catalog is not None else CostCatalog(),
+        )
+
+
+def measure_px_mx(record_count: int = 20_000, value_bytes: int = 100,
+                  cores: int = 4, seed: int = 42,
+                  measure_operations: int = 10_000) -> PxMxMeasurement:
+    """Load identical data into both trees; measure read cost and bytes.
+
+    Reproduces the paper's Section 5.1 point experiment: read-only, 4-core,
+    Bw-tree configured for main memory (no cache cap).
+    """
+    spec = WorkloadSpec(record_count=record_count, value_bytes=value_bytes,
+                        seed=seed, name="pxmx")
+
+    bw_machine = Machine.paper_default(cores=cores)
+    bwtree = BwTree(bw_machine, BwTreeConfig(cache_capacity_bytes=None))
+    bwtree.bulk_load(WorkloadGenerator(spec).load_items())
+    bwtree.checkpoint()
+    generator = WorkloadGenerator(spec)
+    apply_operations(bwtree, generator.operations(2_000))
+    bw_machine.reset_accounting()
+    apply_operations(bwtree, generator.operations(measure_operations))
+    bw_us = bw_machine.summary().core_us_per_op
+    bw_bytes = bwtree.dram_footprint_bytes()
+
+    mt_machine = Machine.paper_default(cores=cores)
+    masstree = MassTree(mt_machine)
+    for key, value in WorkloadGenerator(spec).load_items():
+        masstree.upsert(key, value)
+    reader = WorkloadGenerator(spec)
+    for op in reader.operations(2_000):
+        masstree.get(op.key)
+    mt_machine.reset_accounting()
+    for op in reader.operations(measure_operations):
+        masstree.get(op.key)
+    mt_us = mt_machine.summary().core_us_per_op
+    mt_bytes = masstree.dram_footprint_bytes()
+
+    return PxMxMeasurement(
+        px=bw_us / mt_us,
+        mx=mt_bytes / bw_bytes,
+        bwtree_us_per_op=bw_us,
+        masstree_us_per_op=mt_us,
+        bwtree_bytes=bw_bytes,
+        masstree_bytes=mt_bytes,
+    )
+
+
+def catalog_from_measurements(run: MeasuredRun, r: float,
+                              page_bytes: float,
+                              base: Optional[CostCatalog] = None
+                              ) -> CostCatalog:
+    """A catalog whose ROPS/R/Ps come from simulation, prices from ``base``."""
+    from dataclasses import replace
+    catalog = base if base is not None else CostCatalog()
+    return replace(
+        catalog,
+        rops=run.throughput,
+        r=r,
+        page_bytes=page_bytes,
+    )

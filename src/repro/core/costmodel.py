@@ -1,0 +1,154 @@
+"""Operation pricing (paper Section 3.2, Equations 4-5; Section 7.2 CSS).
+
+Each operation class has a storage rental term (per page, per second) and
+an execution term that scales with the operation rate N:
+
+* ``$MM = Ps*($M + $Fl) + N * $P/ROPS``                      (Equation 4)
+* ``$SS = Ps*$Fl + N * ($I/IOPS + R*$P/ROPS)``               (Equation 5)
+* ``$CSS`` adds a compression ratio to the flash term and decompression
+  CPU to the execution term (Figure 8's third line).
+
+All values carry the paper's implicit 1/L factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .catalog import CostCatalog
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """A priced operation class at a given access rate."""
+
+    kind: str
+    rate_ops_per_sec: float
+    storage_cost: float
+    execution_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.storage_cost + self.execution_cost
+
+
+@dataclass(frozen=True)
+class CssParameters:
+    """What the compressed tier costs beyond plain SS.
+
+    ``compression_ratio`` is compressed/raw size in (0, 1]; ``r_css`` is the
+    execution-cost ratio of a CSS operation to an MM operation — an SS
+    operation plus decompression (measure it with
+    :mod:`repro.core.calibration` or the compression benchmarks).
+    """
+
+    compression_ratio: float = 0.5
+    r_css: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError(
+                f"compression ratio must be in (0, 1], "
+                f"got {self.compression_ratio}"
+            )
+        if self.r_css <= 0:
+            raise ValueError("r_css must be positive")
+
+
+class OperationCostModel:
+    """Prices MM, SS and CSS operations from a :class:`CostCatalog`."""
+
+    def __init__(self, catalog: CostCatalog | None = None,
+                 css: CssParameters | None = None) -> None:
+        self.catalog = catalog if catalog is not None else CostCatalog()
+        self.css = css if css is not None else CssParameters()
+
+    # --- Equation 4 -------------------------------------------------------
+
+    def mm_cost(self, rate_ops_per_sec: float,
+                nbytes: float | None = None) -> OperationCost:
+        """Main-memory operation cost at rate N (per page, per second)."""
+        self._check_rate(rate_ops_per_sec)
+        cat = self.catalog
+        return OperationCost(
+            kind="MM",
+            rate_ops_per_sec=rate_ops_per_sec,
+            storage_cost=cat.mm_storage_cost(nbytes),
+            execution_cost=rate_ops_per_sec * cat.mm_execution_cost_per_op,
+        )
+
+    # --- Equation 5 ---------------------------------------------------------
+
+    def ss_cost(self, rate_ops_per_sec: float,
+                nbytes: float | None = None) -> OperationCost:
+        """Secondary-storage operation cost at rate N."""
+        self._check_rate(rate_ops_per_sec)
+        cat = self.catalog
+        return OperationCost(
+            kind="SS",
+            rate_ops_per_sec=rate_ops_per_sec,
+            storage_cost=cat.ss_storage_cost(nbytes),
+            execution_cost=rate_ops_per_sec * cat.ss_execution_cost_per_op,
+        )
+
+    # --- Figure 8's compressed tier -------------------------------------------
+
+    def css_cost(self, rate_ops_per_sec: float,
+                 nbytes: float | None = None) -> OperationCost:
+        """Compressed-secondary-storage operation cost at rate N."""
+        self._check_rate(rate_ops_per_sec)
+        cat = self.catalog
+        size = cat.page_bytes if nbytes is None else nbytes
+        storage = cat.flash_per_byte * size * self.css.compression_ratio
+        execution_per_op = (
+            cat.io_cost_per_op
+            + self.css.r_css * cat.mm_execution_cost_per_op
+        )
+        return OperationCost(
+            kind="CSS",
+            rate_ops_per_sec=rate_ops_per_sec,
+            storage_cost=storage,
+            execution_cost=rate_ops_per_sec * execution_per_op,
+        )
+
+    # --- curves and winners ------------------------------------------------------
+
+    def cheapest(self, rate_ops_per_sec: float,
+                 include_css: bool = False) -> OperationCost:
+        """The lowest-total-cost operation class at this access rate."""
+        candidates = [
+            self.mm_cost(rate_ops_per_sec),
+            self.ss_cost(rate_ops_per_sec),
+        ]
+        if include_css:
+            candidates.append(self.css_cost(rate_ops_per_sec))
+        return min(candidates, key=lambda cost: cost.total)
+
+    def curves(self, rates: Sequence[float],
+               include_css: bool = False) -> dict:
+        """Cost series per operation class over ``rates`` (Figures 2/7/8)."""
+        result = {
+            "rates": list(rates),
+            "MM": [self.mm_cost(rate).total for rate in rates],
+            "SS": [self.ss_cost(rate).total for rate in rates],
+        }
+        if include_css:
+            result["CSS"] = [self.css_cost(rate).total for rate in rates]
+        return result
+
+    @staticmethod
+    def _check_rate(rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"access rate cannot be negative: {rate}")
+
+
+def logspace_rates(low: float, high: float, count: int) -> List[float]:
+    """Log-spaced access rates for plotting cost curves."""
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    if count < 2:
+        raise ValueError("need at least two points")
+    import math
+    step = (math.log(high) - math.log(low)) / (count - 1)
+    return [math.exp(math.log(low) + i * step) for i in range(count)]

@@ -1,0 +1,109 @@
+"""Main-memory vs data-caching cost comparison (paper Section 5, Eq 7-8).
+
+Comparing the fully cached Bw-tree against MassTree is not a paging
+question: both keep everything resident, so the storage term covers the
+*whole database* S and the comparison reduces to MassTree's memory
+expansion Mx against its performance gain Px:
+
+    $DM  = Ti * S * $M        + $P / ROPS                  (Bw-tree)
+    $MTM = Ti * Mx * S * $M   + $P / (Px * ROPS)           (MassTree)
+
+    Ti = (1/S) * ($P/ROPS) * (1/$M) * (Px - 1) / (Px * (Mx - 1))   (Eq 7)
+
+With the paper's Px ~ 2.6 and Mx ~ 2.1 this collapses to Ti ~ 8.3e3 / S
+(Equation 8): the bigger the database, the higher the access rate has to be
+before MassTree's faster-but-fatter design wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .catalog import CostCatalog
+
+
+@dataclass(frozen=True)
+class MainMemoryComparison:
+    """Px/Mx observations plus the catalog they are priced against."""
+
+    px: float                     # MassTree ops/sec over Bw-tree ops/sec
+    mx: float                     # MassTree bytes over Bw-tree bytes
+    catalog: CostCatalog
+
+    def __post_init__(self) -> None:
+        if self.px <= 1.0:
+            raise ValueError(
+                f"Px must exceed 1 (MassTree is the faster system): {self.px}"
+            )
+        if self.mx <= 1.0:
+            raise ValueError(
+                f"Mx must exceed 1 (MassTree is the bigger system): {self.mx}"
+            )
+
+    # --- Equation 7 -----------------------------------------------------
+
+    @property
+    def breakeven_constant(self) -> float:
+        """The Ti * S product — the paper's 8.3e3 (Equation 8)."""
+        cat = self.catalog
+        return (
+            (cat.processor_dollars / cat.rops)
+            * (1.0 / cat.dram_per_byte)
+            * (self.px - 1.0) / (self.px * (self.mx - 1.0))
+        )
+
+    def breakeven_interval_seconds(self, database_bytes: float) -> float:
+        """Ti below which MassTree is cheaper, for a database of S bytes."""
+        if database_bytes <= 0:
+            raise ValueError("database size must be positive")
+        return self.breakeven_constant / database_bytes
+
+    def breakeven_rate_ops_per_sec(self, database_bytes: float) -> float:
+        """The access rate above which MassTree is cheaper."""
+        return 1.0 / self.breakeven_interval_seconds(database_bytes)
+
+    # --- the two cost lines (Figure 3) -------------------------------------
+
+    def bwtree_cost(self, rate_ops_per_sec: float,
+                    database_bytes: float) -> float:
+        """$DM per second: whole-database DRAM rental + execution."""
+        cat = self.catalog
+        return (database_bytes * cat.dram_per_byte
+                + rate_ops_per_sec * cat.mm_execution_cost_per_op)
+
+    def masstree_cost(self, rate_ops_per_sec: float,
+                      database_bytes: float) -> float:
+        """$MTM per second: expanded DRAM rental + faster execution."""
+        cat = self.catalog
+        return (self.mx * database_bytes * cat.dram_per_byte
+                + rate_ops_per_sec * cat.mm_execution_cost_per_op / self.px)
+
+    def curves(self, rates: Sequence[float],
+               database_bytes: float) -> dict:
+        """Cost series for both systems over access rates (Figure 3)."""
+        return {
+            "rates": list(rates),
+            "bwtree": [
+                self.bwtree_cost(rate, database_bytes) for rate in rates
+            ],
+            "masstree": [
+                self.masstree_cost(rate, database_bytes) for rate in rates
+            ],
+        }
+
+    def cheaper_system(self, rate_ops_per_sec: float,
+                       database_bytes: float) -> str:
+        bw = self.bwtree_cost(rate_ops_per_sec, database_bytes)
+        mt = self.masstree_cost(rate_ops_per_sec, database_bytes)
+        return "masstree" if mt < bw else "bwtree"
+
+
+def paper_comparison(catalog: CostCatalog | None = None
+                     ) -> MainMemoryComparison:
+    """The paper's point experiment: Px ~ 2.6, Mx ~ 2.1 (Section 5.1)."""
+    return MainMemoryComparison(
+        px=2.6,
+        mx=2.1,
+        catalog=catalog if catalog is not None else CostCatalog(),
+    )

@@ -1,0 +1,348 @@
+"""New/old technology analysis (paper Sections 7.2 and 8.2-8.3).
+
+The paper closes by applying its cost framework to technologies beyond
+DRAM+flash:
+
+* **NVRAM** (Section 8.2) — priced between DRAM and flash, performing
+  between them, and persistent.  Two candidate roles: inside the SSD
+  (where it loses, because the *execution* cost of an I/O dominates) or
+  as extended main memory (where a fetch costs no I/O path at all).
+* **HDD** (Section 8.3) — a few hundred IOPS cannot back a store running
+  millions of ops/sec; "disk is tape".
+* **Compressed main memory** (Section 7.2, last paragraph) — paying
+  decompression CPU on every access to shrink the DRAM bill, a fourth
+  operation class between MM and SS.
+
+Everything here reuses the Equation (4)/(5) structure: a storage rental
+term plus a rate-scaled execution term, so every pairwise breakeven has
+the Equation (6) closed form.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .catalog import CostCatalog
+from .costmodel import CssParameters, OperationCost, OperationCostModel
+
+
+# ----------------------------------------------------------------------
+# NVRAM (Section 8.2)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NvramParameters:
+    """Price and performance of byte-addressable non-volatile memory.
+
+    ``price_per_byte`` sits between DRAM (5e-9) and flash (0.5e-9);
+    ``slowdown`` multiplies the MM execution path (NVRAM loads/stores are
+    slower than DRAM but there is no I/O software path at all).  NVRAM is
+    persistent, so data held there needs no separate flash copy.
+    """
+
+    price_per_byte: float = 2.0e-9
+    slowdown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.price_per_byte <= 0:
+            raise ValueError("NVRAM price must be positive")
+        if self.slowdown < 1.0:
+            raise ValueError(
+                f"NVRAM cannot be faster than DRAM (slowdown {self.slowdown})"
+            )
+
+
+class NvramCostModel:
+    """Prices the NVM operation class next to MM and SS."""
+
+    def __init__(self, catalog: Optional[CostCatalog] = None,
+                 nvram: Optional[NvramParameters] = None) -> None:
+        self.catalog = catalog if catalog is not None else CostCatalog()
+        self.nvram = nvram if nvram is not None else NvramParameters()
+        self.base = OperationCostModel(self.catalog)
+
+    def nvm_cost(self, rate_ops_per_sec: float,
+                 nbytes: float | None = None) -> OperationCost:
+        """An operation on NVRAM-resident data: no I/O, slower execution."""
+        if rate_ops_per_sec < 0:
+            raise ValueError("access rate cannot be negative")
+        cat = self.catalog
+        size = cat.page_bytes if nbytes is None else nbytes
+        return OperationCost(
+            kind="NVM",
+            rate_ops_per_sec=rate_ops_per_sec,
+            storage_cost=self.nvram.price_per_byte * size,
+            execution_cost=(rate_ops_per_sec * self.nvram.slowdown
+                            * cat.mm_execution_cost_per_op),
+        )
+
+    # --- pairwise breakevens ---------------------------------------------
+
+    def dram_vs_nvm_breakeven_rate(self) -> float:
+        """Above this rate, DRAM (plus a flash copy) beats NVRAM.
+
+        Storage gap: (M + Fl − NV)·Ps;  execution gap: (slowdown−1)·P/ROPS.
+        """
+        cat = self.catalog
+        storage_gap = (
+            (cat.dram_per_byte + cat.flash_per_byte
+             - self.nvram.price_per_byte) * cat.page_bytes
+        )
+        execution_gap = (
+            (self.nvram.slowdown - 1.0) * cat.mm_execution_cost_per_op
+        )
+        if storage_gap <= 0:
+            return 0.0      # NVRAM costs as much as DRAM: never wins
+        if execution_gap <= 0:
+            return math.inf  # NVRAM as fast as DRAM: always wins
+        return storage_gap / execution_gap
+
+    def nvm_vs_ss_breakeven_rate(self) -> float:
+        """Above this rate, NVRAM beats flash-with-I/O.
+
+        NVRAM pays more for bytes but nothing for the I/O path; the paper's
+        point that "fetching data from NVRAM has much lower cost ... than
+        an SS operation".
+        """
+        cat = self.catalog
+        storage_gap = (
+            (self.nvram.price_per_byte - cat.flash_per_byte)
+            * cat.page_bytes
+        )
+        execution_gap = (
+            cat.ss_execution_cost_per_op
+            - self.nvram.slowdown * cat.mm_execution_cost_per_op
+        )
+        if execution_gap <= 0:
+            return math.inf  # NVRAM ops cost as much as SS ops: never wins
+        return storage_gap / execution_gap
+
+    def nvram_in_ssd_savings_fraction(self) -> float:
+        """How much an NVRAM-based SSD would cut the SS *execution* cost.
+
+        Modelled as removing the device's contribution but keeping the
+        whole software path — the paper's argument for why NVRAM is
+        unlikely to displace flash inside SSDs: "the cost of accessing an
+        SSD is high largely because of the execution cost of an I/O, so
+        little access cost is saved".
+        """
+        cat = self.catalog
+        full = cat.ss_execution_cost_per_op
+        without_device = cat.r * cat.mm_execution_cost_per_op
+        return 1.0 - without_device / full
+
+
+class MemoryTier(enum.Enum):
+    DRAM = "DRAM"
+    NVM = "NVM"
+    SS = "SS"
+    CSS = "CSS"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class FourTierAdvisor:
+    """Cheapest of DRAM / NVM / SS / CSS at a given per-page access rate."""
+
+    def __init__(self, catalog: Optional[CostCatalog] = None,
+                 nvram: Optional[NvramParameters] = None,
+                 css: Optional[CssParameters] = None) -> None:
+        self.catalog = catalog if catalog is not None else CostCatalog()
+        self.nvm_model = NvramCostModel(self.catalog, nvram)
+        self.base_model = OperationCostModel(self.catalog, css)
+
+    def costs_at(self, rate: float) -> Dict[MemoryTier, float]:
+        return {
+            MemoryTier.DRAM: self.base_model.mm_cost(rate).total,
+            MemoryTier.NVM: self.nvm_model.nvm_cost(rate).total,
+            MemoryTier.SS: self.base_model.ss_cost(rate).total,
+            MemoryTier.CSS: self.base_model.css_cost(rate).total,
+        }
+
+    def tier_for_rate(self, rate: float) -> MemoryTier:
+        costs = self.costs_at(rate)
+        return min(costs, key=lambda tier: costs[tier])
+
+    def tier_sequence(self, rates: Sequence[float]) -> List[MemoryTier]:
+        return [self.tier_for_rate(rate) for rate in rates]
+
+
+# ----------------------------------------------------------------------
+# HDD (Section 8.3)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HddParameters:
+    """A hard drive: IOPS, latency, price.
+
+    Defaults are the paper's "best of them": just over 200 IOPS at ~5 ms.
+    ``commodity()`` gives the cheaper 100-IOPS/10-ms drive.
+    """
+
+    iops: float = 200.0
+    latency_ms: float = 5.0
+    price_dollars: float = 250.0
+    capacity_bytes: float = 8e12
+
+    def __post_init__(self) -> None:
+        if min(self.iops, self.latency_ms, self.price_dollars,
+               self.capacity_bytes) <= 0:
+            raise ValueError("HDD parameters must be positive")
+
+    @classmethod
+    def commodity(cls) -> "HddParameters":
+        return cls(iops=100.0, latency_ms=10.0, price_dollars=150.0)
+
+    @property
+    def price_per_byte(self) -> float:
+        return self.price_dollars / self.capacity_bytes
+
+
+@dataclass(frozen=True)
+class HddViabilityReport:
+    """The Section 8.3 arithmetic for a store at a given speed."""
+
+    system_ops_per_sec: float
+    hdd_iops: float
+    ops_per_hdd_latency: float          # "5000 within the latency of an HDD"
+    max_miss_fraction: float            # F that saturates one drive
+    max_transactions_per_sec: float     # at ios_per_transaction
+    ios_per_transaction: float
+
+    @property
+    def viable_for_random_io(self) -> bool:
+        """An HDD backs the store only if it survives ~1% misses."""
+        return self.max_miss_fraction >= 0.01
+
+
+def hdd_viability(hdd: Optional[HddParameters] = None,
+                  system_ops_per_sec: float = 1e6,
+                  ios_per_transaction: float = 10.0) -> HddViabilityReport:
+    """Reproduce the paper's "disk is tape" arithmetic."""
+    drive = hdd if hdd is not None else HddParameters()
+    if system_ops_per_sec <= 0 or ios_per_transaction <= 0:
+        raise ValueError("rates must be positive")
+    latency_seconds = drive.latency_ms / 1e3
+    return HddViabilityReport(
+        system_ops_per_sec=system_ops_per_sec,
+        hdd_iops=drive.iops,
+        ops_per_hdd_latency=system_ops_per_sec * latency_seconds,
+        max_miss_fraction=drive.iops / system_ops_per_sec,
+        max_transactions_per_sec=drive.iops / ios_per_transaction,
+        ios_per_transaction=ios_per_transaction,
+    )
+
+
+def hdd_breakeven_interval_seconds(catalog: Optional[CostCatalog] = None,
+                                   hdd: Optional[HddParameters] = None,
+                                   r_hdd: float = 9.0) -> float:
+    """Equation (6) with HDD numbers: Gray's original regime.
+
+    The whole drive price buys its (tiny) IOPS; the result is an interval
+    of hours, which is why page caching against HDDs barely ever evicts —
+    and why HDDs remain fine for backup/archive (low access frequency).
+    """
+    cat = catalog if catalog is not None else CostCatalog()
+    drive = hdd if hdd is not None else HddParameters()
+    io_term = drive.price_dollars / drive.iops
+    cpu_term = (r_hdd - 1.0) * cat.processor_dollars / cat.rops
+    return (io_term + cpu_term) / (cat.dram_per_byte * cat.page_bytes)
+
+
+# ----------------------------------------------------------------------
+# Compressed main memory (Section 7.2, last paragraph)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CmmParameters:
+    """Compressed-main-memory operation class.
+
+    Data lives compressed in DRAM (and compressed on flash for
+    durability); every access decompresses, adding execution cost.
+    ``decompress_ratio`` is that added cost in MM-operation units.
+    """
+
+    compression_ratio: float = 0.5
+    decompress_ratio: float = 3.0   # CMM op ~= (1 + this) MM ops
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression ratio must be in (0, 1]")
+        if self.decompress_ratio < 0:
+            raise ValueError("decompress ratio cannot be negative")
+
+
+class CmmCostModel:
+    """Prices CMM next to MM and SS (the paper's 'staging' idea)."""
+
+    def __init__(self, catalog: Optional[CostCatalog] = None,
+                 cmm: Optional[CmmParameters] = None) -> None:
+        self.catalog = catalog if catalog is not None else CostCatalog()
+        self.cmm = cmm if cmm is not None else CmmParameters()
+        self.base = OperationCostModel(self.catalog)
+
+    def cmm_cost(self, rate_ops_per_sec: float,
+                 nbytes: float | None = None) -> OperationCost:
+        if rate_ops_per_sec < 0:
+            raise ValueError("access rate cannot be negative")
+        cat = self.catalog
+        size = cat.page_bytes if nbytes is None else nbytes
+        ratio = self.cmm.compression_ratio
+        storage = (cat.dram_per_byte + cat.flash_per_byte) * size * ratio
+        execution_per_op = (
+            (1.0 + self.cmm.decompress_ratio)
+            * cat.mm_execution_cost_per_op
+        )
+        return OperationCost(
+            kind="CMM",
+            rate_ops_per_sec=rate_ops_per_sec,
+            storage_cost=storage,
+            execution_cost=rate_ops_per_sec * execution_per_op,
+        )
+
+    def mm_vs_cmm_breakeven_rate(self) -> float:
+        """Above this rate, uncompressed DRAM beats compressed DRAM."""
+        cat = self.catalog
+        storage_gap = (
+            (cat.dram_per_byte + cat.flash_per_byte) * cat.page_bytes
+            * (1.0 - self.cmm.compression_ratio)
+        )
+        execution_gap = (self.cmm.decompress_ratio
+                         * cat.mm_execution_cost_per_op)
+        if execution_gap <= 0:
+            return math.inf
+        return storage_gap / execution_gap
+
+    def cmm_vs_ss_breakeven_rate(self) -> float:
+        """Above this rate, compressed DRAM beats flash-with-I/O."""
+        cat = self.catalog
+        ratio = self.cmm.compression_ratio
+        storage_gap = (
+            (cat.dram_per_byte + cat.flash_per_byte) * ratio
+            - cat.flash_per_byte
+        ) * cat.page_bytes
+        execution_gap = (
+            cat.ss_execution_cost_per_op
+            - (1.0 + self.cmm.decompress_ratio)
+            * cat.mm_execution_cost_per_op
+        )
+        if execution_gap <= 0:
+            return math.inf
+        if storage_gap <= 0:
+            return 0.0
+        return storage_gap / execution_gap
+
+    def has_winning_window(self) -> bool:
+        """Is there a rate band where CMM is the cheapest of MM/CMM/SS?
+
+        The paper conjectures CMM's "total cost might well be lower than
+        either of these alternatives" in a middle band; this checks the
+        conjecture for the configured parameters.
+        """
+        low = self.cmm_vs_ss_breakeven_rate()
+        high = self.mm_vs_cmm_breakeven_rate()
+        return low < high

@@ -1,0 +1,163 @@
+"""Tier selection and cache sizing from the cost model.
+
+The operational payoff of the paper's analysis: a data caching system can
+*choose*, per page, the cheapest way to hold it — DRAM-cached (MM), on
+flash (SS), or compressed on flash (CSS) — from nothing but the page's
+access rate (Sections 4.2, 7.2).  ``TierAdvisor`` computes the boundaries;
+``CacheSizingAdvisor`` turns a per-page access histogram into the DRAM
+budget that minimizes total cost, which is the cache-size decision the
+paper says should replace "just buy more DRAM".
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .breakeven import breakeven_rate_ops_per_sec
+from .catalog import CostCatalog
+from .costmodel import CssParameters, OperationCostModel
+
+
+class Tier(enum.Enum):
+    MM = "MM"      # DRAM-cached, durable copy on flash
+    SS = "SS"      # flash-resident, uncompressed
+    CSS = "CSS"    # flash-resident, compressed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TierBoundaries:
+    """Access rates where the cheapest tier changes (Figure 8's regions)."""
+
+    css_to_ss_rate: float
+    ss_to_mm_rate: float
+
+    def tier_for(self, rate_ops_per_sec: float) -> Tier:
+        if rate_ops_per_sec >= self.ss_to_mm_rate:
+            return Tier.MM
+        if rate_ops_per_sec >= self.css_to_ss_rate:
+            return Tier.SS
+        return Tier.CSS
+
+
+class TierAdvisor:
+    """Chooses the cheapest operation class per access rate."""
+
+    def __init__(self, catalog: CostCatalog | None = None,
+                 css: CssParameters | None = None,
+                 include_css: bool = True) -> None:
+        self.catalog = catalog if catalog is not None else CostCatalog()
+        self.model = OperationCostModel(self.catalog, css)
+        self.include_css = include_css
+
+    def tier_for_rate(self, rate_ops_per_sec: float) -> Tier:
+        """Cheapest tier at this per-page access rate."""
+        winner = self.model.cheapest(rate_ops_per_sec,
+                                     include_css=self.include_css)
+        return Tier(winner.kind)
+
+    def tier_for_interval(self, seconds_between_accesses: float) -> Tier:
+        """Cheapest tier given the time between accesses (the paper's Ti)."""
+        if seconds_between_accesses <= 0:
+            raise ValueError("access interval must be positive")
+        return self.tier_for_rate(1.0 / seconds_between_accesses)
+
+    def boundaries(self) -> TierBoundaries:
+        """Closed-form tier boundaries.
+
+        SS->MM is Equation (6)'s breakeven rate.  CSS->SS equates the CSS
+        and SS cost lines: the storage saved by compression pays for the
+        decompression CPU up to
+
+            N = Ps * $Fl * (1 - ratio) / ((r_css - R) * $P/ROPS).
+        """
+        ss_to_mm = breakeven_rate_ops_per_sec(self.catalog)
+        if not self.include_css:
+            return TierBoundaries(css_to_ss_rate=0.0, ss_to_mm_rate=ss_to_mm)
+        cat = self.catalog
+        css = self.model.css
+        execution_gap = (
+            (css.r_css - cat.r) * cat.mm_execution_cost_per_op
+        )
+        storage_gap = (
+            cat.page_bytes * cat.flash_per_byte
+            * (1.0 - css.compression_ratio)
+        )
+        if execution_gap <= 0:
+            # Decompression costs nothing extra: CSS dominates SS entirely.
+            css_to_ss = math.inf
+        else:
+            css_to_ss = storage_gap / execution_gap
+        return TierBoundaries(css_to_ss_rate=css_to_ss, ss_to_mm_rate=ss_to_mm)
+
+
+@dataclass(frozen=True)
+class CacheSizingResult:
+    """Outcome of sizing a DRAM cache against an access histogram."""
+
+    cached_pages: int
+    cache_bytes: float
+    total_cost: float
+    tier_of_page: Tuple[Tier, ...]
+
+    @property
+    def tier_counts(self) -> Dict[Tier, int]:
+        counts: Dict[Tier, int] = {tier: 0 for tier in Tier}
+        for tier in self.tier_of_page:
+            counts[tier] += 1
+        return counts
+
+
+class CacheSizingAdvisor:
+    """Sizes the page cache to minimize total cost for a known heat map.
+
+    Because the per-page cost curves cross exactly once, the optimal policy
+    is a threshold: cache every page whose access rate exceeds the Equation
+    (6) breakeven, leave the rest on (compressed) flash.
+    """
+
+    def __init__(self, catalog: CostCatalog | None = None,
+                 css: CssParameters | None = None,
+                 include_css: bool = False) -> None:
+        self.catalog = catalog if catalog is not None else CostCatalog()
+        self.advisor = TierAdvisor(self.catalog, css, include_css=include_css)
+        self.model = self.advisor.model
+        self.include_css = include_css
+
+    def size_for(self, page_rates: Sequence[float]) -> CacheSizingResult:
+        """Pick the cheapest tier per page and total it up.
+
+        ``page_rates`` are accesses/second per page (any order).
+        """
+        tiers: List[Tier] = []
+        total = 0.0
+        cached = 0
+        for rate in page_rates:
+            tier = self.advisor.tier_for_rate(rate)
+            tiers.append(tier)
+            if tier is Tier.MM:
+                cached += 1
+                total += self.model.mm_cost(rate).total
+            elif tier is Tier.SS:
+                total += self.model.ss_cost(rate).total
+            else:
+                total += self.model.css_cost(rate).total
+        return CacheSizingResult(
+            cached_pages=cached,
+            cache_bytes=cached * self.catalog.page_bytes,
+            total_cost=total,
+            tier_of_page=tuple(tiers),
+        )
+
+    def cost_if_all_cached(self, page_rates: Sequence[float]) -> float:
+        """The "main-memory system" alternative: everything in DRAM."""
+        return sum(self.model.mm_cost(rate).total for rate in page_rates)
+
+    def cost_if_none_cached(self, page_rates: Sequence[float]) -> float:
+        """The "no cache" alternative: every access is an SS operation."""
+        return sum(self.model.ss_cost(rate).total for rate in page_rates)

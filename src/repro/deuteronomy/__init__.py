@@ -1,0 +1,32 @@
+"""Deuteronomy: transaction component + data component (paper Section 6.3).
+
+MVCC transactions whose version store, retained recovery-log buffers and
+log-structured read cache together form the TC-level record cache the paper
+credits with avoiding both I/O and data-component trips.
+"""
+
+from .engine import DeuteronomyEngine
+from .mvcc import Version, VersionStore
+from .read_cache import ReadCache
+from .recovery_log import LogRecord, RecoveryLog
+from .tc import (
+    TcConfig,
+    Transaction,
+    TransactionAborted,
+    TransactionComponent,
+    TxnStatus,
+)
+
+__all__ = [
+    "DeuteronomyEngine",
+    "TransactionComponent",
+    "TcConfig",
+    "Transaction",
+    "TransactionAborted",
+    "TxnStatus",
+    "VersionStore",
+    "Version",
+    "ReadCache",
+    "RecoveryLog",
+    "LogRecord",
+]

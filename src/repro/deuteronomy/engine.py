@@ -1,0 +1,97 @@
+"""DeuteronomyEngine: the assembled TC + DC system.
+
+Convenience facade wiring a :class:`TransactionComponent` over a
+:class:`BwTree` (itself over LLAMA and the simulated machine), with a
+context-manager transaction API.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from ..bwtree.tree import BwTree, BwTreeConfig
+from ..hardware.machine import Machine
+from .tc import TcConfig, Transaction, TransactionComponent
+
+
+class DeuteronomyEngine:
+    """Transactional key/value engine: TC over Bw-tree over LLAMA."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        tree_config: Optional[BwTreeConfig] = None,
+        tc_config: Optional[TcConfig] = None,
+        data_component: Optional[BwTree] = None,
+    ) -> None:
+        self.machine = machine
+        self.dc = (data_component if data_component is not None
+                   else BwTree(machine, tree_config))
+        self.tc = TransactionComponent(machine, self.dc, tc_config)
+
+    @classmethod
+    def recover(cls, crashed: "DeuteronomyEngine",
+                tc_config: Optional[TcConfig] = None) -> "DeuteronomyEngine":
+        """Rebuild the engine after a power loss.
+
+        DRAM and the stores' open write buffers are lost; the data
+        component is rebuilt from its last checkpoint, then every durable
+        redo record is replayed through the normal blind-update path.
+        Transactions whose redo records had not reached flash are lost —
+        the standard write-ahead-logging contract (``checkpoint()`` forces
+        the log).
+        """
+        machine = crashed.machine
+        durable = list(crashed.tc.log.durable_records)
+        crashed.dc.store.simulate_crash()
+        machine.dram.wipe()
+        dc = BwTree.recover(machine, crashed.dc.store, crashed.dc.config)
+        engine = cls(
+            machine,
+            tc_config=tc_config if tc_config is not None
+            else crashed.tc.config,
+            data_component=dc,
+        )
+        engine.tc.replay_redo(durable)
+        return engine
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """``with engine.transaction() as txn:`` — commits on success,
+        aborts if the body raises."""
+        txn = self.tc.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.status.value == "active":
+                self.tc.abort(txn)
+            raise
+        else:
+            if txn.status.value == "active":
+                self.tc.commit(txn)
+
+    # --- autocommit conveniences -------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Autocommitted snapshot read."""
+        txn = self.tc.begin()
+        value = self.tc.read(txn, key)
+        self.tc.commit(txn)
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Autocommitted single-key update."""
+        self.tc.run_update(key, value)
+
+    def delete(self, key: bytes) -> None:
+        """Autocommitted single-key delete."""
+        self.tc.run_update(key, None)
+
+    def checkpoint(self) -> None:
+        """Flush the log and every dirty data page."""
+        self.tc.log.flush()
+        self.dc.checkpoint()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeuteronomyEngine(dc={self.dc!r})"

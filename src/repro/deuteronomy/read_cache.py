@@ -1,0 +1,95 @@
+"""The TC's log-structured read cache (paper Section 6.3, Figure 6).
+
+Records read from the data component are retained in a separate
+log-structured cache so repeated reads of recently used records skip both
+the I/O *and* the trip into the Bw-tree.  Eviction is FIFO over the log
+order (the "log-structured" part), with a byte budget.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..hardware.machine import Machine
+
+DRAM_TAG = "tc_read_cache"
+READ_CACHE_ENTRY_OVERHEAD_BYTES = 24
+
+
+class ReadCache:
+    """A byte-budgeted FIFO cache of records read from the DC."""
+
+    def __init__(self, machine: Machine, budget_bytes: int) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("read cache budget must be positive")
+        self.machine = machine
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evicted_records = 0
+
+    @staticmethod
+    def _entry_bytes(key: bytes, value: bytes) -> int:
+        return READ_CACHE_ENTRY_OVERHEAD_BYTES + len(key) + len(value)
+
+    def lookup(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Probe the cache; charges one hash probe."""
+        self.machine.cpu.charge("hash_probe", category="tc_read_cache")
+        if key in self._entries:
+            self.hits += 1
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Append a record read from the DC, evicting FIFO if over budget."""
+        if key in self._entries:
+            old = self._entries.pop(key)
+            freed = self._entry_bytes(key, old)
+            self.machine.dram.free(freed, DRAM_TAG)
+            self._bytes -= freed
+        nbytes = self._entry_bytes(key, value)
+        self._entries[key] = value
+        self.machine.dram.allocate(nbytes, DRAM_TAG)
+        self._bytes += nbytes
+        self.machine.cpu.charge("copy_per_byte", nbytes,
+                                category="tc_read_cache")
+        self.inserts += 1
+        while self._bytes > self.budget_bytes and self._entries:
+            old_key, old_value = self._entries.popitem(last=False)
+            freed = self._entry_bytes(old_key, old_value)
+            self.machine.dram.free(freed, DRAM_TAG)
+            self._bytes -= freed
+            self.evicted_records += 1
+
+    def invalidate(self, key: bytes) -> None:
+        """Drop a stale record (its key was updated)."""
+        if key in self._entries:
+            old = self._entries.pop(key)
+            freed = self._entry_bytes(key, old)
+            self.machine.dram.free(freed, DRAM_TAG)
+            self._bytes -= freed
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReadCache(entries={len(self._entries)}, bytes={self._bytes}, "
+            f"hit_rate={self.hit_rate:.3f})"
+        )

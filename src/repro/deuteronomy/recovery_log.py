@@ -1,0 +1,156 @@
+"""Deuteronomy's recovery log doubling as an updated-record cache.
+
+Paper Section 6.3 / Figure 6: the TC appends redo records to log buffers;
+buffers are flushed to secondary storage as large writes but *retained in
+main memory* afterwards, so the newest committed version of a recently
+updated record can be served straight from the log buffer — no I/O and no
+trip to the data component.  Retention is bounded by a byte budget; when a
+buffer is dropped its records stop being servable from the TC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..hardware.machine import Machine
+
+DRAM_TAG = "tc_recovery_log"
+LOG_RECORD_OVERHEAD_BYTES = 32   # LSN, txn id, timestamp, lengths
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One redo record: the after-image of a committed update."""
+
+    key: bytes
+    value: Optional[bytes]     # None = delete
+    timestamp: int
+    txn_id: int
+
+    @property
+    def size_bytes(self) -> int:
+        value_len = len(self.value) if self.value is not None else 0
+        return LOG_RECORD_OVERHEAD_BYTES + len(self.key) + value_len
+
+
+@dataclass
+class _Buffer:
+    buffer_id: int
+    records: List[LogRecord] = field(default_factory=list)
+    nbytes: int = 0
+    flushed: bool = False
+
+
+class RecoveryLog:
+    """Append-only redo log with retained, byte-budgeted buffers."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        buffer_bytes: int = 1 << 20,
+        retain_budget_bytes: Optional[int] = None,
+    ) -> None:
+        if buffer_bytes <= 0:
+            raise ValueError("log buffer size must be positive")
+        self.machine = machine
+        self.buffer_bytes = buffer_bytes
+        self.retain_budget_bytes = retain_budget_bytes
+        self._buffers: List[_Buffer] = [_Buffer(0)]
+        self._next_buffer_id = 1
+        self._retained_bytes = 0
+        self.flushes = 0
+        self.appended_records = 0
+        self.dropped_buffers = 0
+        # Records whose buffer reached the SSD: the durable redo log that
+        # survives a crash (the in-memory retained copies do not).
+        self.durable_records: List[LogRecord] = []
+
+    # --- append path --------------------------------------------------------
+
+    def append(self, record: LogRecord) -> int:
+        """Append one redo record, flushing the buffer when it fills.
+
+        Returns the id of the buffer holding the record; versions in the
+        MVCC store carry it so :meth:`is_buffer_retained` can tell whether
+        the record is still servable from memory.
+        """
+        nbytes = record.size_bytes
+        if nbytes > self.buffer_bytes:
+            raise ValueError(
+                f"record of {nbytes}B exceeds buffer size {self.buffer_bytes}"
+            )
+        current = self._buffers[-1]
+        if current.nbytes + nbytes > self.buffer_bytes:
+            self.flush()
+            current = self._buffers[-1]
+        current.records.append(record)
+        current.nbytes += nbytes
+        self.machine.dram.allocate(nbytes, DRAM_TAG)
+        self._retained_bytes += nbytes
+        self.machine.cpu.charge("log_append_per_byte", nbytes,
+                                category="tc_log")
+        self.appended_records += 1
+        return current.buffer_id
+
+    def flush(self) -> Optional[int]:
+        """Write the open buffer to the SSD as one large write.
+
+        The buffer stays resident afterwards (the record-cache trick); the
+        retention budget is enforced by dropping the oldest flushed buffers.
+        Returns the flushed buffer id, or None when the buffer was empty.
+        """
+        current = self._buffers[-1]
+        if not current.records:
+            return None
+        self.machine.io_path.charge_round_trip(current.nbytes)
+        self.machine.ssd.write(current.nbytes)
+        current.flushed = True
+        self.durable_records.extend(current.records)
+        self.flushes += 1
+        self._buffers.append(_Buffer(self._next_buffer_id))
+        self._next_buffer_id += 1
+        self._enforce_budget()
+        return current.buffer_id
+
+    def _enforce_budget(self) -> None:
+        if self.retain_budget_bytes is None:
+            return
+        while (self._retained_bytes > self.retain_budget_bytes
+               and len(self._buffers) > 1 and self._buffers[0].flushed):
+            dropped = self._buffers.pop(0)
+            self.machine.dram.free(dropped.nbytes, DRAM_TAG)
+            self._retained_bytes -= dropped.nbytes
+            self.dropped_buffers += 1
+
+    # --- record-cache reads --------------------------------------------------
+
+    def is_buffer_retained(self, buffer_id: int) -> bool:
+        """Whether the buffer with ``buffer_id`` is still resident.
+
+        Buffers are dropped strictly oldest-first, so this is a constant
+        comparison against the oldest retained id.
+        """
+        return bool(self._buffers) and buffer_id >= self._buffers[0].buffer_id
+
+    def retained_record_index(self) -> Dict[bytes, LogRecord]:
+        """Newest retained record per key (for rebuild/debug, O(n))."""
+        index: Dict[bytes, LogRecord] = {}
+        for buffer in self._buffers:
+            for record in buffer.records:
+                index[record.key] = record
+        return index
+
+    @property
+    def retained_bytes(self) -> int:
+        return self._retained_bytes
+
+    @property
+    def retained_buffers(self) -> int:
+        return len(self._buffers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecoveryLog(buffers={len(self._buffers)}, "
+            f"retained={self._retained_bytes}B, flushes={self.flushes})"
+        )

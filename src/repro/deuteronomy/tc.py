@@ -1,0 +1,301 @@
+"""Deuteronomy's transaction component (paper Section 6.3, Figure 6).
+
+The TC provides timestamp-ordered MVCC transactions over a data component
+(the Bw-tree).  Its cost-relevant behaviours, all reproduced here:
+
+* every transactional update is a **blind update** at the Bw-tree: the TC
+  reads (if it needs to) through its caches, and posts the after-image back
+  without requiring the data page in memory (Section 6.2);
+* the recovery log's buffers are retained in memory and, together with the
+  MVCC hash table, act as an **updated-record cache**;
+* records read from the DC land in a log-structured **read cache**;
+* a TC cache hit avoids not just the I/O but the entire descent into the
+  Bw-tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bwtree.tree import BwTree
+from ..hardware.machine import Machine
+from ..hardware.metrics import CounterSet
+from .mvcc import Version, VersionStore
+from .read_cache import ReadCache
+from .recovery_log import LogRecord, RecoveryLog
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """A client transaction: reads at ``read_timestamp``, buffers writes."""
+
+    txn_id: int
+    read_timestamp: int
+    status: TxnStatus = TxnStatus.ACTIVE
+    write_set: Dict[bytes, Optional[bytes]] = field(default_factory=dict)
+    read_keys: List[bytes] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.txn_id <= 0:
+            raise ValueError("transaction ids start at 1")
+
+
+class TransactionAborted(RuntimeError):
+    """Raised when commit fails a conflict check."""
+
+
+@dataclass(frozen=True)
+class TcConfig:
+    """TC sizing knobs."""
+
+    log_buffer_bytes: int = 1 << 20
+    log_retain_budget_bytes: Optional[int] = 8 << 20
+    read_cache_bytes: int = 4 << 20
+    version_gc_horizon_lag: int = 1024   # truncate versions this far back
+    # Force the log to flash at every commit: durable commits at the cost
+    # of small log writes (group commit would amortize them; the default
+    # leaves durability to checkpoints/periodic flushes).
+    sync_commit: bool = False
+
+
+class TransactionComponent:
+    """MVCC transactions over a Bw-tree data component."""
+
+    def __init__(self, machine: Machine, data_component: BwTree,
+                 config: Optional[TcConfig] = None) -> None:
+        self.machine = machine
+        self.dc = data_component
+        self.config = config if config is not None else TcConfig()
+        self.log = RecoveryLog(
+            machine,
+            buffer_bytes=self.config.log_buffer_bytes,
+            retain_budget_bytes=self.config.log_retain_budget_bytes,
+        )
+        self.read_cache = ReadCache(machine, self.config.read_cache_bytes)
+        self.versions = VersionStore(machine)
+        self.counters = CounterSet()
+        self._clock = 0
+        self._next_txn_id = 1
+        self._active: Dict[int, Transaction] = {}
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def begin(self) -> Transaction:
+        """Start a transaction reading at the current timestamp."""
+        self.machine.cpu.charge("timestamp_alloc", category="tc")
+        txn = Transaction(self._next_txn_id, read_timestamp=self._clock)
+        self._next_txn_id += 1
+        self._active[txn.txn_id] = txn
+        self.counters.add("tc.begins")
+        return txn
+
+    def commit(self, txn: Transaction) -> int:
+        """Commit: conflict-check, log, version-install, blind-post to DC.
+
+        Uses first-committer-wins on write-write conflicts: if any written
+        key gained a committed version after the transaction's read
+        timestamp, the transaction aborts (:class:`TransactionAborted`).
+        Returns the commit timestamp.
+        """
+        self._require_active(txn)
+        for key in txn.write_set:
+            newest = self.versions.newest_timestamp(key)
+            if newest is not None and newest > txn.read_timestamp:
+                self.abort(txn)
+                raise TransactionAborted(
+                    f"txn {txn.txn_id}: write-write conflict on {key!r}"
+                )
+        self.machine.cpu.charge("timestamp_alloc", category="tc")
+        commit_ts = self._tick()
+        for key, value in txn.write_set.items():
+            record = LogRecord(key, value, commit_ts, txn.txn_id)
+            buffer_id = self.log.append(record)
+            self.versions.add(
+                key, Version(commit_ts, value, buffer_id)
+            )
+            self.read_cache.invalidate(key)
+            # The DC update is blind: no read, just a delta post
+            # (Section 6.2 — "all transactional updates are blind updates
+            # at the Bw-tree").
+            if value is None:
+                self.dc.delete(key)
+            else:
+                self.dc.upsert(key, value)
+            self.counters.add("tc.writes_applied")
+        if self.config.sync_commit and txn.write_set:
+            self.log.flush()
+        txn.status = TxnStatus.COMMITTED
+        del self._active[txn.txn_id]
+        self.counters.add("tc.commits")
+        self._maybe_gc_versions()
+        return commit_ts
+
+    def abort(self, txn: Transaction) -> None:
+        """Abort: buffered writes are simply discarded."""
+        self._require_active(txn)
+        txn.status = TxnStatus.ABORTED
+        del self._active[txn.txn_id]
+        self.counters.add("tc.aborts")
+
+    def _require_active(self, txn: Transaction) -> None:
+        if txn.status is not TxnStatus.ACTIVE:
+            raise ValueError(
+                f"txn {txn.txn_id} is {txn.status.value}, not active"
+            )
+
+    # ------------------------------------------------------------------
+    # reads and writes
+    # ------------------------------------------------------------------
+
+    def read(self, txn: Transaction, key: bytes) -> Optional[bytes]:
+        """Transactional read at the transaction's snapshot."""
+        self._require_active(txn)
+        self.machine.begin_operation()
+        self.machine.cpu.charge("op_dispatch", category="tc")
+        txn.read_keys.append(key)
+        self.counters.add("tc.reads")
+
+        # Read-your-own-writes.
+        if key in txn.write_set:
+            self.counters.add("tc.own_write_hits")
+            return txn.write_set[key]
+
+        # 1. MVCC version store — may be servable from a retained log
+        #    buffer (updated-record cache).
+        version, examined = self.versions.visible(key, txn.read_timestamp)
+        del examined  # already charged per visibility check
+        if version is not None:
+            if self.log.is_buffer_retained(version.log_buffer_id):
+                self.counters.add("tc.log_cache_hits")
+                return version.value
+            # The buffer holding the version was dropped; fall through to
+            # the read cache / DC for the record bytes.
+            self.counters.add("tc.log_cache_stale")
+
+        # 2. Read cache of records previously fetched from the DC.
+        hit, value = self.read_cache.lookup(key)
+        if hit:
+            self.counters.add("tc.read_cache_hits")
+            return value
+
+        # 3. Full trip to the data component (may cost an I/O).
+        result = self.dc.get_with_stats(key)
+        self.counters.add("tc.dc_reads")
+        if result.ios > 0:
+            self.counters.add("tc.dc_read_ios", result.ios)
+        if result.found and result.value is not None:
+            self.read_cache.insert(key, result.value)
+            return result.value
+        return None
+
+    def write(self, txn: Transaction, key: bytes,
+              value: Optional[bytes]) -> None:
+        """Buffer an update (``None`` deletes) until commit."""
+        self._require_active(txn)
+        self.machine.begin_operation()
+        self.machine.cpu.charge("op_dispatch", category="tc")
+        value_len = len(value) if value is not None else 0
+        self.machine.cpu.charge("copy_per_byte", len(key) + value_len,
+                                category="tc")
+        txn.write_set[key] = value
+        self.counters.add("tc.writes")
+
+    # ------------------------------------------------------------------
+    # one-shot helpers
+    # ------------------------------------------------------------------
+
+    def run_read_only(self, keys: List[bytes]) -> List[Optional[bytes]]:
+        """Execute a read-only transaction over ``keys``."""
+        txn = self.begin()
+        values = [self.read(txn, key) for key in keys]
+        self.commit(txn)
+        return values
+
+    def run_update(self, key: bytes, value: Optional[bytes]) -> int:
+        """Execute a single-update transaction; returns commit timestamp."""
+        txn = self.begin()
+        self.write(txn, key, value)
+        return self.commit(txn)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def replay_redo(self, records) -> int:
+        """Re-apply durable redo records after a crash.
+
+        Exactly the paper's Section 6.2 observation: "there is no
+        difference in how updates are handled during normal operation and
+        during recovery" — each record is posted to the Bw-tree as a blind
+        update and re-installed in the version store.  Returns the number
+        of records replayed.
+        """
+        replayed = 0
+        for record in records:
+            self._clock = max(self._clock, record.timestamp)
+            buffer_id = self.log.append(
+                LogRecord(record.key, record.value, record.timestamp,
+                          record.txn_id)
+            )
+            self.versions.add(
+                record.key,
+                Version(record.timestamp, record.value, buffer_id),
+            )
+            if record.value is None:
+                self.dc.delete(record.key)
+            else:
+                self.dc.upsert(record.key, record.value)
+            replayed += 1
+            self.counters.add("tc.redo_replayed")
+        return replayed
+
+    # ------------------------------------------------------------------
+    # maintenance / reporting
+    # ------------------------------------------------------------------
+
+    def _oldest_active_read_timestamp(self) -> int:
+        if not self._active:
+            return self._clock
+        return min(t.read_timestamp for t in self._active.values())
+
+    def _maybe_gc_versions(self) -> None:
+        horizon = (self._oldest_active_read_timestamp()
+                   - self.config.version_gc_horizon_lag)
+        if horizon > 0:
+            self.versions.truncate(horizon)
+
+    def tc_hit_rate(self) -> float:
+        """Fraction of reads served without reaching the data component."""
+        reads = self.counters.get("tc.reads")
+        if reads == 0:
+            return 0.0
+        dc_reads = self.counters.get("tc.dc_reads")
+        return 1.0 - dc_reads / reads
+
+    def dram_footprint_bytes(self) -> int:
+        dram = self.machine.dram
+        return (
+            dram.bytes_for("tc_recovery_log")
+            + dram.bytes_for("tc_read_cache")
+            + dram.bytes_for("tc_version_store")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransactionComponent(active={len(self._active)}, "
+            f"commits={self.counters.get('tc.commits'):g})"
+        )

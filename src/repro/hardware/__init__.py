@@ -1,0 +1,32 @@
+"""Virtual-time hardware models underlying every simulated store.
+
+See DESIGN.md Section 2 for why the reproduction runs on a cost-accounted
+simulator instead of wall-clock timing: operation *counts* come from real
+data structures, per-primitive *prices* come from the calibrated
+:class:`~repro.hardware.cpu.CostTable`.
+"""
+
+from .clock import VirtualClock
+from .cpu import CostTable, CpuModel
+from .dram import DramFullError, DramModel
+from .iopath import IoPathKind, IoPathModel
+from .machine import Machine, RunSummary
+from .metrics import CounterSet, Histogram
+from .ssd import SimulatedSsd, SsdFullError, SsdSpec
+
+__all__ = [
+    "VirtualClock",
+    "CostTable",
+    "CpuModel",
+    "DramModel",
+    "DramFullError",
+    "IoPathKind",
+    "IoPathModel",
+    "Machine",
+    "RunSummary",
+    "CounterSet",
+    "Histogram",
+    "SimulatedSsd",
+    "SsdSpec",
+    "SsdFullError",
+]

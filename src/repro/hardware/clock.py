@@ -1,0 +1,53 @@
+"""Virtual time for the simulated machine.
+
+The reproduction never uses wall-clock time: Python execution speed says
+nothing about the native engine the paper measured.  Instead, every store
+charges *core-microseconds* to the CPU model, and the clock advances with the
+charged work.  Time-based policies (the 45-second eviction rule, GC
+scheduling) read this clock, so a run behaves as if it executed at the
+calibrated native speed regardless of how fast Python happens to run it.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock measured in seconds.
+
+    The clock is advanced by the :class:`~repro.hardware.cpu.CpuModel`
+    whenever work is charged (scaled by the number of cores, approximating
+    steady-state elapsed time for a CPU-bound run) and may also be advanced
+    directly, e.g. by workload drivers that model think time.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance clock by negative {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_us(self, microseconds: float) -> float:
+        """Advance the clock by ``microseconds`` and return the new time."""
+        return self.advance(microseconds * 1e-6)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock, used between benchmark phases."""
+        if start < 0.0:
+            raise ValueError(f"clock cannot reset before zero, got {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f}s)"

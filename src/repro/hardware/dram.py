@@ -1,0 +1,89 @@
+"""DRAM byte accounting (the $M side of the paper's storage costs).
+
+Every resident structure (cached pages, mapping table, MassTree nodes, TC
+version store, read cache) registers its footprint here under a tag, so the
+cost model can price main-memory rental per component and the MassTree
+memory-expansion factor Mx can be *measured* rather than assumed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class DramModel:
+    """Tracks current and peak resident bytes per tag."""
+
+    def __init__(self, capacity_bytes: int | None = None) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("DRAM capacity must be positive when given")
+        self.capacity_bytes = capacity_bytes
+        self._by_tag: Dict[str, int] = defaultdict(int)
+        self._current = 0
+        self._peak = 0
+
+    def allocate(self, nbytes: int, tag: str = "untagged") -> None:
+        """Account ``nbytes`` as newly resident under ``tag``."""
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate negative bytes: {nbytes}")
+        if (self.capacity_bytes is not None
+                and self._current + nbytes > self.capacity_bytes):
+            raise DramFullError(
+                f"DRAM full: {self._current} + {nbytes} "
+                f"> {self.capacity_bytes}"
+            )
+        self._by_tag[tag] += nbytes
+        self._current += nbytes
+        if self._current > self._peak:
+            self._peak = self._current
+
+    def free(self, nbytes: int, tag: str = "untagged") -> None:
+        """Account ``nbytes`` under ``tag`` as released."""
+        if nbytes < 0:
+            raise ValueError(f"cannot free negative bytes: {nbytes}")
+        if self._by_tag[tag] < nbytes:
+            raise ValueError(
+                f"freeing {nbytes} bytes from tag {tag!r} which holds "
+                f"{self._by_tag[tag]}"
+            )
+        self._by_tag[tag] -= nbytes
+        self._current -= nbytes
+
+    @property
+    def current_bytes(self) -> int:
+        return self._current
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    def bytes_for(self, tag: str) -> int:
+        """Currently resident bytes under ``tag``."""
+        return self._by_tag.get(tag, 0)
+
+    def by_tag(self) -> Dict[str, int]:
+        """Snapshot of resident bytes per tag (zero-byte tags omitted)."""
+        return {tag: n for tag, n in self._by_tag.items() if n > 0}
+
+    def reset_peak(self) -> None:
+        """Restart peak tracking from the current footprint."""
+        self._peak = self._current
+
+    def wipe(self) -> None:
+        """Model a power loss: every resident byte is gone.
+
+        Components rebuilt by recovery re-allocate their footprints; any
+        component sharing this DRAM that is *not* recovered must be
+        discarded by the caller.
+        """
+        self._by_tag.clear()
+        self._current = 0
+        self._peak = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DramModel(current={self._current}B, peak={self._peak}B)"
+
+
+class DramFullError(RuntimeError):
+    """Raised when allocations exceed a configured DRAM capacity."""

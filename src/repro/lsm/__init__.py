@@ -1,0 +1,20 @@
+"""RocksDB-flavoured leveled LSM-tree (paper Sections 1.3, 6.1-6.3).
+
+The second modern data-caching system the paper discusses: blind updates
+via the memtable, large sequential writes via flush/compaction, and the
+memtable acting as a record cache.
+"""
+
+from .memtable import Memtable
+from .sstable import BloomFilter, SsTable
+from .tree import BlockCache, LsmConfig, LsmOpResult, LsmTree
+
+__all__ = [
+    "LsmTree",
+    "LsmConfig",
+    "LsmOpResult",
+    "BlockCache",
+    "Memtable",
+    "SsTable",
+    "BloomFilter",
+]

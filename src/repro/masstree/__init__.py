@@ -1,0 +1,11 @@
+"""MassTree: the paper's main-memory comparison system (Section 5).
+
+A trie of B+-trees over 8-byte key slices with byte-accurate memory
+accounting, so the paper's memory-expansion factor Mx and performance gain
+Px are measured, not assumed.
+"""
+
+from .layer import Entry, LayerStats, LayerTree, slice_of
+from .tree import MassTree
+
+__all__ = ["MassTree", "LayerTree", "LayerStats", "Entry", "slice_of"]

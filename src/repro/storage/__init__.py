@@ -1,0 +1,54 @@
+"""LLAMA-style cache/storage subsystem (paper Sections 6.1-6.3).
+
+Logical pages located through a :class:`MappingTable`, persisted by a
+:class:`LogStructuredStore` in large appended segments with variable-size
+full or delta-only images, cached in DRAM by a :class:`PageCache` with LRU
+or breakeven-interval eviction (and an optional record cache), and cleaned
+by a :class:`GarbageCollector`.
+"""
+
+from .cache import CacheStats, EvictionPolicy, PageCache
+from .checkpoint import CheckpointImage, CheckpointManager
+from .gc import GarbageCollector, GcStats
+from .log_store import LogStructuredStore, ReadResult, SegmentInfo
+from .mapping_table import FlashAddr, MappingTable, PageEntry
+from .pages import (
+    DELTA_OVERHEAD_BYTES,
+    PAGE_HEADER_BYTES,
+    RECORD_OVERHEAD_BYTES,
+    DataPageState,
+    DeltaKind,
+    LookupResult,
+    PageImage,
+    Record,
+    RecordDelta,
+    delta_image_size_bytes,
+    full_image_size_bytes,
+)
+
+__all__ = [
+    "CacheStats",
+    "EvictionPolicy",
+    "PageCache",
+    "CheckpointImage",
+    "CheckpointManager",
+    "GarbageCollector",
+    "GcStats",
+    "LogStructuredStore",
+    "ReadResult",
+    "SegmentInfo",
+    "FlashAddr",
+    "MappingTable",
+    "PageEntry",
+    "DataPageState",
+    "DeltaKind",
+    "LookupResult",
+    "PageImage",
+    "Record",
+    "RecordDelta",
+    "RECORD_OVERHEAD_BYTES",
+    "DELTA_OVERHEAD_BYTES",
+    "PAGE_HEADER_BYTES",
+    "delta_image_size_bytes",
+    "full_image_size_bytes",
+]

@@ -1,0 +1,394 @@
+"""LLAMA cache manager: residency, eviction, flush and fetch of data pages.
+
+This is the component that makes a *data caching system* (paper Section 1.3):
+hot pages live in DRAM, cold pages live only on flash, and the eviction
+policy decides which is which.  Two policies are provided:
+
+* classic LRU under a byte budget, and
+* the paper's cost-derived rule (Section 4.2): evict a page once the time
+  since its last access exceeds the breakeven interval Ti (~45 s with the
+  paper's constants), because past that point an SS operation is cheaper
+  than continued DRAM rental.
+
+The cache also implements the **record cache** of Section 6.3: in record
+cache mode an evicted page keeps its delta records resident, so a later read
+that hits a delta is served without any I/O.
+
+Invariant maintained jointly with the flush path: whenever a page has any
+resident state, its resident delta list contains *every* delta since the
+last full image; flushed delta images on flash are an oldest-suffix of that
+list.  Fetching a page with resident deltas therefore only needs the base
+(full) image — one I/O.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from ..hardware.machine import Machine
+from .log_store import LogStructuredStore
+from .mapping_table import MappingTable, PageEntry
+from .pages import DataPageState, PageImage
+
+DRAM_TAG = "page_cache"
+
+
+class EvictionPolicy(enum.Enum):
+    """How the cache chooses eviction victims."""
+
+    LRU = "lru"
+    TI_THRESHOLD = "ti"     # paper Section 4.2 breakeven-interval rule
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache-manager activity."""
+
+    fetches: int = 0
+    fetch_ios: int = 0
+    evictions: int = 0
+    record_cache_retained: int = 0
+    flushes_full: int = 0
+    flushes_delta: int = 0
+    bytes_flushed: int = 0
+
+
+class PageCache:
+    """Manages which logical data pages are DRAM-resident."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        mapping_table: MappingTable,
+        store: LogStructuredStore,
+        capacity_bytes: Optional[int] = None,
+        policy: EvictionPolicy = EvictionPolicy.LRU,
+        ti_seconds: float = 45.0,
+        record_cache: bool = False,
+        record_cache_budget_bytes: Optional[int] = None,
+        max_flash_fragments: int = 4,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive when given")
+        self.machine = machine
+        self.mapping_table = mapping_table
+        self.store = store
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.ti_seconds = ti_seconds
+        self.record_cache = record_cache
+        self.record_cache_budget_bytes = record_cache_budget_bytes
+        self.max_flash_fragments = max_flash_fragments
+        self.stats = CacheStats()
+        # LRU order over resident pages: page id -> accounted bytes.
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+
+    # --- residency accounting ---------------------------------------------
+
+    def register(self, entry: PageEntry) -> None:
+        """Start tracking a page that just became resident."""
+        if entry.page_id in self._resident:
+            raise ValueError(f"page {entry.page_id} already tracked")
+        nbytes = entry.resident_bytes
+        self.machine.dram.allocate(nbytes, DRAM_TAG)
+        self._resident[entry.page_id] = nbytes
+        self.touch(entry)
+
+    def resize(self, entry: PageEntry) -> None:
+        """Re-account a tracked page whose resident size changed."""
+        old = self._resident.get(entry.page_id)
+        if old is None:
+            raise KeyError(f"page {entry.page_id} is not tracked")
+        new = entry.resident_bytes
+        if new > old:
+            self.machine.dram.allocate(new - old, DRAM_TAG)
+        elif new < old:
+            self.machine.dram.free(old - new, DRAM_TAG)
+        self._resident[entry.page_id] = new
+
+    def _untrack(self, entry: PageEntry) -> None:
+        nbytes = self._resident.pop(entry.page_id)
+        self.machine.dram.free(nbytes, DRAM_TAG)
+
+    def touch(self, entry: PageEntry) -> None:
+        """Record an access: recency order and virtual access time."""
+        entry.last_access = self.machine.clock.now
+        entry.access_count += 1
+        if entry.page_id in self._resident:
+            self._resident.move_to_end(entry.page_id)
+
+    def is_tracked(self, page_id: int) -> bool:
+        return page_id in self._resident
+
+    def forget(self, entry: PageEntry) -> None:
+        """Stop tracking a page without flushing (the page is being freed)."""
+        if entry.page_id not in self._resident:
+            raise KeyError(f"page {entry.page_id} is not tracked")
+        self._untrack(entry)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    # --- flush path ------------------------------------------------------------
+
+    def flush_page(self, entry: PageEntry, force_full: bool = False,
+                   max_fragments: Optional[int] = None) -> None:
+        """Persist a page's unflushed changes to the log store.
+
+        Writes a delta-only image when the base is already on flash and the
+        fragment cap allows it (paper Figure 5); otherwise consolidates and
+        writes a full image, invalidating the superseded images.
+        """
+        if max_fragments is None:
+            max_fragments = self.max_flash_fragments
+        state = entry.state
+        if state is None:
+            raise ValueError(f"page {entry.page_id} has no resident state")
+        if not state.has_unflushed_changes:
+            return
+        # A page whose base is not resident (record cache, or a blind update
+        # posted to an evicted page) can only be flushed incrementally; the
+        # fragment cap yields to correctness in that case.
+        must_delta = not state.base_present
+        can_delta = (
+            state.base_flushed
+            and not force_full
+            and (must_delta or len(entry.flash_chain) < max_fragments)
+            and state.flushed_delta_count < len(state.deltas)
+        )
+        if can_delta:
+            deltas = tuple(state.unflushed_deltas())
+            image = PageImage("delta", entry.page_id, deltas=deltas)
+            addr = self.store.append(image)
+            entry.flash_chain.append(addr)
+            entry.flushed_delta_records += len(deltas)
+            state.mark_deltas_flushed()
+            self.stats.flushes_delta += 1
+            self.stats.bytes_flushed += image.size_bytes
+            return
+        if state.base_present and state.deltas:
+            old_bytes = state.resident_size_bytes
+            new_base = state.consolidate()
+            self.machine.cpu.charge(
+                "consolidate_per_byte", new_base, category="cache"
+            )
+            if entry.page_id in self._resident:
+                self.resize(entry)
+            del old_bytes
+        if not state.base_present:
+            raise ValueError(
+                f"page {entry.page_id}: cannot write full image without base"
+            )
+        assert state.base is not None
+        image = PageImage("full", entry.page_id,
+                          records=tuple(state.base))
+        addr = self.store.append(image)
+        for old_addr in entry.flash_chain:
+            self.store.invalidate(old_addr)
+        entry.flash_chain = [addr]
+        entry.flushed_delta_records = 0
+        state.base_flushed = True
+        state.mark_deltas_flushed()
+        self.stats.flushes_full += 1
+        self.stats.bytes_flushed += image.size_bytes
+
+    # --- eviction ------------------------------------------------------------------
+
+    def evict(self, entry: PageEntry) -> None:
+        """Push a page out of DRAM (keeping deltas in record-cache mode)."""
+        state = entry.state
+        if state is None or entry.page_id not in self._resident:
+            raise ValueError(f"page {entry.page_id} is not resident")
+        if state.has_unflushed_changes:
+            self.flush_page(entry)
+        self.machine.cpu.charge("evict_bookkeeping", category="cache")
+        keep_deltas = (self.record_cache and bool(state.deltas)
+                       and state.base_present)
+        if keep_deltas and self.record_cache_budget_bytes is not None:
+            keep_deltas = (state.delta_size_bytes
+                           <= self.record_cache_budget_bytes)
+        if keep_deltas:
+            state.drop_base()
+            self.resize(entry)
+            self.stats.record_cache_retained += 1
+        else:
+            entry.state = None
+            self._untrack(entry)
+        self.stats.evictions += 1
+
+    def _victims(self, protect: Set[int]) -> Iterable[int]:
+        if self.policy is EvictionPolicy.TI_THRESHOLD:
+            now = self.machine.clock.now
+            stale = [
+                pid for pid in self._resident
+                if pid not in protect
+                and now - self.mapping_table.get(pid).last_access
+                > self.ti_seconds
+            ]
+            # Oldest-idle first, then fall through to LRU order.
+            stale.sort(key=lambda pid: self.mapping_table.get(pid).last_access)
+            yield from stale
+        for pid in list(self._resident):
+            if pid not in protect:
+                yield pid
+
+    def ensure_capacity(self, protect: Optional[Set[int]] = None) -> int:
+        """Evict victims until the byte budget is met; returns evictions."""
+        if self.capacity_bytes is None:
+            return 0
+        protect = protect if protect is not None else set()
+        evicted = 0
+        if self.resident_bytes <= self.capacity_bytes:
+            return 0
+        for pid in list(self._victims(protect)):
+            if self.resident_bytes <= self.capacity_bytes:
+                break
+            entry = self.mapping_table.get(pid)
+            if entry.state is None:
+                continue
+            # Record-cache retention may leave deltas resident; if we are
+            # still over budget those delta-only pages are next in line and
+            # get dropped entirely on a second pass.
+            if not entry.state.base_present:
+                if entry.state.has_unflushed_changes:
+                    self.flush_page(entry)
+                entry.state = None
+                self._untrack(entry)
+                self.stats.evictions += 1
+            else:
+                self.evict(entry)
+            evicted += 1
+        return evicted
+
+    def evict_idle_pages(self, protect: Optional[Set[int]] = None) -> int:
+        """Ti-policy sweep: evict every page idle longer than ``ti_seconds``.
+
+        This is the paper's cost-driven eviction independent of any byte
+        budget: past the breakeven interval, DRAM rental costs more than the
+        SS operation the eviction causes.
+        """
+        protect = protect if protect is not None else set()
+        now = self.machine.clock.now
+        evicted = 0
+        for pid in list(self._resident):
+            if pid in protect:
+                continue
+            entry = self.mapping_table.get(pid)
+            if entry.state is None:
+                continue
+            if now - entry.last_access > self.ti_seconds:
+                if entry.state.base_present:
+                    self.evict(entry)
+                else:
+                    if entry.state.has_unflushed_changes:
+                        self.flush_page(entry)
+                    entry.state = None
+                    self._untrack(entry)
+                    self.stats.evictions += 1
+                evicted += 1
+        return evicted
+
+    # --- fetch path -------------------------------------------------------------------
+
+    def fetch(self, entry: PageEntry) -> int:
+        """Bring a page's base (and, if needed, deltas) back into DRAM.
+
+        Returns the number of device I/Os performed.  A page with resident
+        deltas only needs its base image (see module invariant); a fully
+        evicted page reads every image in its flash chain.
+        """
+        ios = 0
+        if entry.state is not None and entry.state.base_present:
+            return 0
+        if not entry.flash_chain:
+            raise ValueError(
+                f"page {entry.page_id} has no flash images to fetch"
+            )
+        state = entry.state
+        resident_covers_flash = (
+            state is not None
+            and state.flushed_delta_count == entry.flushed_delta_records
+        )
+        if state is not None and resident_covers_flash:
+            # Record-cache case: the resident delta list already contains
+            # every flash delta record, so only the base image is needed.
+            ios += self._read_base_into(entry, state)
+            self.resize(entry)
+        else:
+            # Fully evicted page, or a blind update was posted while the
+            # state was dropped: read the whole chain and merge.  Resident
+            # (unflushed) deltas are newer than anything on flash.
+            unflushed: List = []
+            if state is not None:
+                cut = len(state.deltas) - state.flushed_delta_count
+                unflushed = state.deltas[:cut]
+            rebuilt = DataPageState(entry.page_id, base=None, deltas=[])
+            flushed_deltas: List = []
+            for index, addr in enumerate(entry.flash_chain):
+                result = self.store.read(addr)
+                if not result.from_write_buffer:
+                    ios += 1
+                image = result.image
+                self.machine.cpu.charge(
+                    "copy_per_byte", addr.nbytes, category="cache"
+                )
+                if index == 0:
+                    if image.kind != "full":
+                        raise RuntimeError(
+                            f"page {entry.page_id}: chain head is not full"
+                        )
+                    rebuilt.install_base(list(image.records))
+                else:
+                    if image.kind != "delta":
+                        raise RuntimeError(
+                            f"page {entry.page_id}: chain tail is not delta"
+                        )
+                    flushed_deltas.extend(image.deltas)
+            # Newest first: unflushed resident deltas, then flash deltas
+            # (which arrive oldest-first).
+            rebuilt.deltas = unflushed + list(reversed(flushed_deltas))
+            rebuilt.flushed_delta_count = len(flushed_deltas)
+            rebuilt.base_flushed = True
+            was_tracked = entry.page_id in self._resident
+            entry.state = rebuilt
+            self.machine.cpu.charge("page_install", category="cache")
+            if was_tracked:
+                self.resize(entry)
+                self.touch(entry)
+            else:
+                self.register(entry)
+        self.stats.fetches += 1
+        self.stats.fetch_ios += ios
+        return ios
+
+    def _read_base_into(self, entry: PageEntry, state: DataPageState) -> int:
+        """Read the chain-head full image into ``state``; returns I/Os."""
+        base_addr = entry.flash_chain[0]
+        result = self.store.read(base_addr)
+        image = result.image
+        if image.kind != "full":
+            raise RuntimeError(
+                f"page {entry.page_id}: chain head is not a full image"
+            )
+        state.install_base(list(image.records))
+        state.base_flushed = True
+        self.machine.cpu.charge("page_install", category="cache")
+        self.machine.cpu.charge(
+            "copy_per_byte", base_addr.nbytes, category="cache"
+        )
+        return 0 if result.from_write_buffer else 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = self.capacity_bytes if self.capacity_bytes is not None else "inf"
+        return (
+            f"PageCache(resident={self.resident_pages}p/"
+            f"{self.resident_bytes}B, cap={cap}, policy={self.policy.value})"
+        )

@@ -1,0 +1,113 @@
+"""Mapping-table checkpoints: making the Bw-tree recoverable.
+
+The mapping table is a main-memory structure; to survive a crash the
+Bw-tree periodically persists it into the log-structured store as a
+checkpoint image listing, for every live logical page, the flash chain
+that rebuilds it.  Exactly one checkpoint image is live at a time (writing
+a new one invalidates its predecessor), so recovery is a scan of the live
+segment entries for the single ``checkpoint`` image.
+
+Deltas flushed *after* the checkpoint are recovered through the redo log
+(the transaction component replays committed updates as blind updates —
+the paper's Section 6.2 point that recovery uses the normal update path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .log_store import LogStructuredStore
+from .mapping_table import FlashAddr, MappingTable
+
+CHECKPOINT_HEADER_BYTES = 64
+CHECKPOINT_PAGE_BYTES = 16       # page id + chain length
+CHECKPOINT_ADDR_BYTES = 24       # segment id + offset + length
+
+
+@dataclass(frozen=True)
+class CheckpointImage:
+    """A persisted snapshot of the mapping table's flash locations.
+
+    ``page_chains`` holds, per live page: (page id, flash chain, number of
+    delta records contained in the chain's delta images).
+    """
+
+    page_chains: Tuple[Tuple[int, Tuple[FlashAddr, ...], int], ...]
+    next_page_id: int
+
+    kind = "checkpoint"
+    page_id = -1   # not a data page; kept for log-store symmetry
+
+    @property
+    def size_bytes(self) -> int:
+        addr_count = sum(len(chain) for __, chain, __f in self.page_chains)
+        return (CHECKPOINT_HEADER_BYTES
+                + CHECKPOINT_PAGE_BYTES * len(self.page_chains)
+                + CHECKPOINT_ADDR_BYTES * addr_count)
+
+    def chains(self) -> Dict[int, Tuple[List[FlashAddr], int]]:
+        return {
+            pid: (list(chain), fdr)
+            for pid, chain, fdr in self.page_chains
+        }
+
+
+class CheckpointManager:
+    """Writes and locates mapping-table checkpoints in the log store."""
+
+    def __init__(self, store: LogStructuredStore,
+                 mapping_table: MappingTable) -> None:
+        self.store = store
+        self.mapping_table = mapping_table
+        self._latest_addr: Optional[FlashAddr] = None
+        self.checkpoints_written = 0
+
+    def write_checkpoint(self) -> FlashAddr:
+        """Persist the current mapping table; every page must already have
+        its state flushed (callers flush dirty pages first)."""
+        chains = []
+        for entry in self.mapping_table.entries():
+            if entry.dirty:
+                raise ValueError(
+                    f"page {entry.page_id} is dirty; flush before "
+                    "checkpointing"
+                )
+            chains.append((entry.page_id, tuple(entry.flash_chain),
+                           entry.flushed_delta_records))
+        image = CheckpointImage(
+            page_chains=tuple(chains),
+            next_page_id=self.mapping_table.next_page_id,
+        )
+        addr = self.store.append(image)
+        if self._latest_addr is not None:
+            self.store.invalidate(self._latest_addr)
+        self._latest_addr = addr
+        # The checkpoint is only durable once its segment reaches flash.
+        self.store.flush()
+        self.checkpoints_written += 1
+        return addr
+
+    def note_relocated(self, new_addr: FlashAddr) -> None:
+        """The GC moved the live checkpoint image to ``new_addr``."""
+        self._latest_addr = new_addr
+
+    @property
+    def latest_addr(self) -> Optional[FlashAddr]:
+        return self._latest_addr
+
+    @staticmethod
+    def find_latest(store: LogStructuredStore) -> Optional[
+            Tuple[FlashAddr, CheckpointImage]]:
+        """Scan live segment entries for the (unique) checkpoint image."""
+        found: Optional[Tuple[FlashAddr, CheckpointImage]] = None
+        for segment_id in store.flushed_segment_ids:
+            for addr, image in store.live_images(segment_id):
+                if getattr(image, "kind", None) == "checkpoint":
+                    if found is not None:
+                        raise RuntimeError(
+                            "multiple live checkpoint images found: "
+                            f"{found[0]} and {addr}"
+                        )
+                    found = (addr, image)   # type: ignore[assignment]
+        return found

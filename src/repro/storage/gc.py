@@ -1,0 +1,140 @@
+"""Log-structured segment cleaning (paper Section 6.1, last paragraph).
+
+Appending relocated pages means old versions accumulate; the cleaner picks
+the emptiest flushed segments, relocates their live images to the log tail,
+and reclaims the segment.  The paper highlights the trade-off this module's
+policies expose: eager cleaning keeps the flash footprint (and $Fl rental)
+small, lazy cleaning saves compute cycles and reclaims more bytes per pass
+because segments are emptier when finally cleaned — experiment A5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hardware.machine import Machine
+from .log_store import LogStructuredStore
+from .mapping_table import FlashAddr, MappingTable
+
+
+@dataclass
+class GcStats:
+    """Cumulative cleaner activity."""
+
+    passes: int = 0
+    segments_cleaned: int = 0
+    bytes_reclaimed: int = 0
+    bytes_relocated: int = 0
+    images_relocated: int = 0
+
+    @property
+    def reclaim_efficiency(self) -> float:
+        """Bytes reclaimed per byte rewritten (higher is better)."""
+        moved = self.bytes_relocated
+        if moved == 0:
+            return float("inf") if self.bytes_reclaimed > 0 else 0.0
+        return self.bytes_reclaimed / moved
+
+
+class GarbageCollector:
+    """Greedy lowest-occupancy segment cleaner."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        store: LogStructuredStore,
+        mapping_table: MappingTable,
+        checkpoint_manager=None,
+    ) -> None:
+        self.machine = machine
+        self.store = store
+        self.mapping_table = mapping_table
+        self.checkpoint_manager = checkpoint_manager
+        self.stats = GcStats()
+
+    def _pick_victim(self, max_occupancy: float) -> Optional[int]:
+        candidates = [
+            (info.occupancy, segment_id)
+            for segment_id, info in self.store.segments.items()
+            if info.occupancy <= max_occupancy
+        ]
+        if not candidates:
+            return None
+        candidates.sort()
+        return candidates[0][1]
+
+    def clean_segment(self, segment_id: int) -> int:
+        """Relocate a segment's live images and reclaim it; returns bytes."""
+        info = self.store.segments[segment_id]
+        # One large sequential read of the whole segment.
+        self.machine.io_path.charge_round_trip(info.total_bytes)
+        self.machine.ssd.read(info.total_bytes)
+        live_by_addr = self.mapping_table.current_address_set()
+        for addr, image in self.store.live_images(segment_id):
+            if getattr(image, "kind", None) == "checkpoint":
+                # The live mapping-table checkpoint moves with the data.
+                # It must be durable *before* its old segment is dropped,
+                # or a crash in between would leave no checkpoint at all.
+                new_addr = self.store.append(image)
+                self.store.flush()
+                if self.checkpoint_manager is not None:
+                    self.checkpoint_manager.note_relocated(new_addr)
+                self.stats.bytes_relocated += addr.nbytes
+                self.stats.images_relocated += 1
+                continue
+            page_id = live_by_addr.get(addr)
+            if page_id is None:
+                # Live in the segment index but no longer referenced by any
+                # mapping entry (page freed after a merge): just drop it.
+                continue
+            new_addr = self.store.append(image)
+            entry = self.mapping_table.get(page_id)
+            position = entry.flash_chain.index(addr)
+            entry.flash_chain[position] = new_addr
+            self.stats.bytes_relocated += addr.nbytes
+            self.stats.images_relocated += 1
+        reclaimed = self.store.drop_segment(segment_id)
+        self.stats.segments_cleaned += 1
+        self.stats.bytes_reclaimed += reclaimed
+        return reclaimed
+
+    def run_once(self, max_occupancy: float = 0.9) -> Optional[int]:
+        """Clean the emptiest segment at or below ``max_occupancy``.
+
+        Returns the cleaned segment id, or ``None`` if no segment qualifies.
+        The open write buffer is never a victim.
+        """
+        self.stats.passes += 1
+        victim = self._pick_victim(max_occupancy)
+        if victim is None:
+            return None
+        self.clean_segment(victim)
+        return victim
+
+    def run_until_utilization(
+        self, target: float, max_passes: int = 10_000,
+    ) -> int:
+        """Clean segments until live/stored utilization reaches ``target``.
+
+        Returns the number of segments cleaned.  Relocation itself appends
+        to the log, so progress is checked each pass; segments that are
+        entirely live (occupancy 1.0) cannot improve utilization and are
+        skipped.
+        """
+        if not 0.0 < target <= 1.0:
+            raise ValueError(f"target utilization must be in (0, 1]: {target}")
+        cleaned = 0
+        for _ in range(max_passes):
+            if self.store.utilization() >= target:
+                break
+            if self.run_once(max_occupancy=0.999) is None:
+                break
+            cleaned += 1
+        return cleaned
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GarbageCollector(cleaned={self.stats.segments_cleaned}, "
+            f"reclaimed={self.stats.bytes_reclaimed}B)"
+        )

@@ -1,0 +1,39 @@
+"""Workload generation: key distributions and YCSB-style mixes."""
+
+from .distributions import (
+    HotspotChooser,
+    KeyChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+    access_interval_seconds,
+    make_chooser,
+)
+from .trace import Trace
+from .ycsb import (
+    Operation,
+    OpKind,
+    RunStats,
+    WorkloadGenerator,
+    WorkloadSpec,
+    apply_operations,
+)
+
+__all__ = [
+    "KeyChooser",
+    "UniformChooser",
+    "ZipfianChooser",
+    "ScrambledZipfianChooser",
+    "HotspotChooser",
+    "LatestChooser",
+    "make_chooser",
+    "access_interval_seconds",
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "Operation",
+    "OpKind",
+    "RunStats",
+    "apply_operations",
+    "Trace",
+]

@@ -1,0 +1,116 @@
+"""Operation traces: record once, replay anywhere.
+
+Comparing systems or configurations fairly requires the *identical*
+operation stream (the paper's experiments re-run the same workload per
+configuration).  A :class:`Trace` captures a generated stream, persists it
+as a plain text file (one operation per line, keys/values hex-encoded),
+and replays it against any store with the BwTree-compatible API.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Union
+
+from .ycsb import Operation, OpKind, RunStats, apply_operations
+
+_FORMAT_VERSION = "repro-trace-v1"
+
+
+@dataclass
+class Trace:
+    """An immutable-by-convention recorded operation stream."""
+
+    operations: List[Operation] = field(default_factory=list)
+
+    # --- capture -----------------------------------------------------------
+
+    @classmethod
+    def record(cls, stream: Iterable[Operation],
+               count: int | None = None) -> "Trace":
+        """Materialize up to ``count`` operations from a stream."""
+        operations: List[Operation] = []
+        for index, operation in enumerate(stream):
+            if count is not None and index >= count:
+                break
+            operations.append(operation)
+        return cls(operations)
+
+    # --- persistence ----------------------------------------------------------
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the trace as text: kind, hex key, hex value, scan length."""
+        target = pathlib.Path(path)
+        lines = [_FORMAT_VERSION]
+        for op in self.operations:
+            value_hex = op.value.hex() if op.value is not None else "-"
+            lines.append(
+                f"{op.kind.value}\t{op.key.hex()}\t{value_hex}"
+                f"\t{op.scan_length}"
+            )
+        target.write_text("\n".join(lines) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        source = pathlib.Path(path)
+        lines = source.read_text().splitlines()
+        if not lines or lines[0] != _FORMAT_VERSION:
+            raise ValueError(
+                f"{source} is not a {_FORMAT_VERSION} trace file"
+            )
+        operations: List[Operation] = []
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) != 4:
+                raise ValueError(
+                    f"{source}:{number}: expected 4 fields, got {len(parts)}"
+                )
+            kind_raw, key_hex, value_hex, scan_raw = parts
+            try:
+                kind = OpKind(kind_raw)
+            except ValueError:
+                raise ValueError(
+                    f"{source}:{number}: unknown operation {kind_raw!r}"
+                ) from None
+            value = None if value_hex == "-" else bytes.fromhex(value_hex)
+            operations.append(Operation(
+                kind=kind,
+                key=bytes.fromhex(key_hex),
+                value=value,
+                scan_length=int(scan_raw),
+            ))
+        return cls(operations)
+
+    # --- replay -------------------------------------------------------------------
+
+    def replay(self, store) -> RunStats:
+        """Apply the trace to a store (BwTree/LsmTree-compatible API)."""
+        return apply_operations(store, iter(self.operations))
+
+    # --- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def kind_counts(self) -> Dict[OpKind, int]:
+        counts: Dict[OpKind, int] = {}
+        for op in self.operations:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    def keys_touched(self) -> int:
+        return len({op.key for op in self.operations})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(ops={len(self.operations)}, "
+            f"keys={self.keys_touched()})"
+        )

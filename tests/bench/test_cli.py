@@ -1,0 +1,37 @@
+"""The ``python -m repro`` experiment runner."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, FAST, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_single_fast_experiment_runs(capsys):
+    assert main(["t2"]) == 0
+    out = capsys.readouterr().out
+    assert "five-minute rule" in out
+    assert "shape check: OK" in out
+
+
+def test_duplicates_deduped(capsys):
+    assert main(["a4", "a4"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("[a4]") == 1
+
+
+def test_fast_alias_covers_analytic_subset(capsys):
+    assert main(["fast"]) == 0
+    out = capsys.readouterr().out
+    for key in FAST:
+        assert f"[{key}]" in out

@@ -1,0 +1,85 @@
+"""Shape checks for the fast (analytic or small-run) experiments.
+
+The paper-scale runs live in benchmarks/; here we validate the drivers on
+reduced sizes so the test suite stays quick but every experiment's logic is
+exercised end to end.
+"""
+
+import pytest
+
+from repro.bench import (
+    ablation_a1,
+    ablation_a2,
+    ablation_a4,
+    figure2,
+    figure8,
+    table2,
+)
+from repro.core import CostCatalog
+
+
+class TestFigure2:
+    def test_shape_and_render(self):
+        result = figure2()
+        assert result.shape_ok()
+        text = result.render()
+        assert "breakeven" in text
+        assert "45" in text
+
+    def test_breakeven_matches_paper(self):
+        result = figure2()
+        assert result.breakeven_interval == pytest.approx(45.2, abs=0.5)
+
+    def test_custom_catalog_shifts_crossover(self):
+        # Cheaper DRAM makes retention cheaper: pages can idle longer
+        # before eviction wins, so the breakeven interval grows.
+        cheap_dram = CostCatalog(dram_per_byte=1e-9)
+        result = figure2(cheap_dram)
+        assert result.shape_ok()
+        assert result.breakeven_interval > 45.5
+
+
+class TestFigure8:
+    def test_shape(self):
+        result = figure8(record_count=400)
+        assert result.shape_ok()
+
+    def test_measured_ratios_sane(self):
+        result = figure8(record_count=400)
+        assert 0.0 < result.compression_ratio_deflate < 0.8
+        assert 0.0 < result.compression_ratio_rle <= 1.0
+        assert result.r_css > CostCatalog().r
+
+    def test_render_names_three_regimes(self):
+        text = figure8(record_count=400).render()
+        assert "CSS" in text and "MM" in text and "SS" in text
+
+
+class TestTable2:
+    def test_shape(self):
+        assert table2().shape_ok()
+
+    def test_render_contains_rule(self):
+        assert "five-minute" in table2().render()
+
+
+class TestAblations:
+    def test_a1_write_amplification_ordering(self):
+        result = ablation_a1(record_count=1_500, updates=2_000)
+        assert result.shape_ok()
+        assert result.amp_fixed > result.amp_full >= result.amp_delta
+
+    def test_a2_blind_updates_do_no_io(self):
+        result = ablation_a2(record_count=1_500, updates=600)
+        assert result.shape_ok()
+        assert result.blind_ios == 0
+        assert result.read_modify_write_ios > 0
+
+    def test_a4_iops_sweep(self):
+        result = ablation_a4()
+        assert result.shape_ok()
+        assert result.intervals[0] > result.intervals[-1]
+
+    def test_a4_custom_values(self):
+        result = ablation_a4(iops_values=[1e5, 1e6])
+        assert len(result.intervals) == 2

@@ -1,0 +1,54 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bwtree import BwTree, BwTreeConfig
+from repro.hardware import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A paper-default 4-core machine."""
+    return Machine.paper_default(cores=4)
+
+
+@pytest.fixture
+def one_core_machine() -> Machine:
+    return Machine.paper_default(cores=1)
+
+
+@pytest.fixture
+def small_tree(machine: Machine) -> BwTree:
+    """An uncapped Bw-tree on the default machine."""
+    return BwTree(machine, BwTreeConfig(segment_bytes=1 << 16))
+
+
+@pytest.fixture
+def capped_tree(machine: Machine) -> BwTree:
+    """A Bw-tree with a tight cache so evictions actually happen."""
+    return BwTree(machine, BwTreeConfig(
+        cache_capacity_bytes=48 * 1024,
+        segment_bytes=1 << 16,
+    ))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def load_keys(tree: BwTree, count: int, value_bytes: int = 50,
+              seed: int = 7) -> dict:
+    """Load ``count`` records; returns the expected key->value dict."""
+    source = random.Random(seed)
+    expected = {}
+    for index in range(count):
+        key = b"key%08d" % index
+        value = bytes(source.randrange(256) for __ in range(value_bytes))
+        tree.upsert(key, value)
+        expected[key] = value
+    return expected

@@ -1,0 +1,122 @@
+"""Equation 6: the updated five-minute rule and its sensitivities."""
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    CostCatalog,
+    breakeven_interval_seconds,
+    breakeven_rate_ops_per_sec,
+    breakeven_report,
+    classic_gray_interval_seconds,
+    crossover_rate,
+    iops_price_sweep,
+    page_size_sweep,
+    record_cache_breakeven_seconds,
+)
+
+
+def test_paper_value_45_seconds():
+    """Section 4.2: Ti ~ 45 seconds with the paper's constants."""
+    interval = breakeven_interval_seconds(CostCatalog())
+    assert interval == pytest.approx(45.2, abs=0.5)
+
+
+def test_report_terms_sum():
+    report = breakeven_report()
+    assert report.interval_seconds == pytest.approx(
+        report.io_term_seconds + report.cpu_term_seconds
+    )
+    assert report.rate_ops_per_sec == pytest.approx(
+        1.0 / report.interval_seconds
+    )
+
+
+def test_cpu_term_is_majority_on_modern_ssds():
+    """The paper's point: the I/O *execution path* now dominates the
+    breakeven, not the device cost."""
+    report = breakeven_report()
+    assert report.cpu_term_fraction > 0.5
+
+
+def test_gray_classic_smaller():
+    cat = CostCatalog()
+    assert classic_gray_interval_seconds(cat) \
+        < breakeven_interval_seconds(cat)
+
+
+def test_crossover_rate_agrees_with_equation_6():
+    cat = CostCatalog()
+    assert crossover_rate(cat) == pytest.approx(
+        breakeven_rate_ops_per_sec(cat), rel=1e-9
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    dram=st.floats(1e-10, 1e-7),
+    flash=st.floats(1e-11, 1e-8),
+    processor=st.floats(50, 5000),
+    io_dollars=st.floats(1, 500),
+    rops=st.floats(1e5, 1e8),
+    iops=st.floats(1e3, 1e7),
+    page=st.floats(256, 65536),
+    r=st.floats(1.1, 30),
+)
+def test_two_derivations_agree_property(dram, flash, processor, io_dollars,
+                                        rops, iops, page, r):
+    """Equation (6) and the direct Eq(4)=Eq(5) solve must always agree."""
+    cat = CostCatalog(
+        dram_per_byte=dram, flash_per_byte=flash,
+        processor_dollars=processor, ssd_io_dollars=io_dollars,
+        rops=rops, iops=iops, page_bytes=page, r=r,
+    )
+    assert crossover_rate(cat) == pytest.approx(
+        breakeven_rate_ops_per_sec(cat), rel=1e-9
+    )
+
+
+def test_record_cache_scales_interval_up():
+    """Section 6.3: cheaper-to-hold records stay ~10x longer."""
+    cat = CostCatalog()
+    record_interval = record_cache_breakeven_seconds(cat, 10)
+    assert record_interval == pytest.approx(
+        10 * breakeven_interval_seconds(cat)
+    )
+
+
+def test_record_cache_validation():
+    with pytest.raises(ValueError):
+        record_cache_breakeven_seconds(CostCatalog(), 0)
+
+
+def test_page_size_sweep_inverse():
+    cat = CostCatalog()
+    intervals = page_size_sweep(cat, [1024, 2048, 4096])
+    assert intervals[0] > intervals[1] > intervals[2]
+    assert intervals[0] == pytest.approx(2 * intervals[1])
+
+
+def test_iops_sweep_monotone_decreasing():
+    cat = CostCatalog()
+    intervals = iops_price_sweep(cat, [1e5, 2e5, 5e5, 1e6])
+    assert all(a > b for a, b in zip(intervals, intervals[1:]))
+
+
+def test_iops_sweep_floors_at_cpu_term():
+    """Even free IOPS cannot shrink Ti below the CPU path term."""
+    cat = CostCatalog()
+    report = breakeven_report(cat)
+    interval_at_huge_iops = iops_price_sweep(cat, [1e12])[0]
+    assert interval_at_huge_iops == pytest.approx(
+        report.cpu_term_seconds, rel=1e-3
+    )
+
+
+def test_cheaper_r_shrinks_breakeven():
+    """Figure 7's premise: smaller R, earlier eviction is worthwhile."""
+    cat = CostCatalog()
+    assert breakeven_interval_seconds(cat.with_r(5.8)) \
+        < breakeven_interval_seconds(cat.with_r(9.0))

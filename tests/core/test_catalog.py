@@ -1,0 +1,67 @@
+"""Cost catalog: paper constants and derived quantities."""
+
+import pytest
+
+from repro.core import CostCatalog
+
+
+def test_paper_constants():
+    cat = CostCatalog.paper_2018()
+    assert cat.dram_per_byte == pytest.approx(5e-9)
+    assert cat.flash_per_byte == pytest.approx(0.5e-9)
+    assert cat.processor_dollars == 300.0
+    assert cat.ssd_io_dollars == 50.0
+    assert cat.rops == pytest.approx(4e6)
+    assert cat.iops == pytest.approx(2e5)
+    assert cat.page_bytes == pytest.approx(2.7e3)
+    assert cat.r == pytest.approx(5.8)
+
+
+def test_mm_execution_cost_is_p_over_rops():
+    cat = CostCatalog()
+    assert cat.mm_execution_cost_per_op == pytest.approx(300 / 4e6)
+
+
+def test_ss_execution_cost_formula():
+    cat = CostCatalog()
+    expected = 50 / 2e5 + 5.8 * 300 / 4e6
+    assert cat.ss_execution_cost_per_op == pytest.approx(expected)
+
+
+def test_storage_costs():
+    cat = CostCatalog()
+    assert cat.mm_storage_cost() == pytest.approx(5.5e-9 * 2700)
+    assert cat.ss_storage_cost() == pytest.approx(0.5e-9 * 2700)
+    assert cat.mm_storage_cost(1000) == pytest.approx(5.5e-6)
+
+
+def test_paper_ratios():
+    """Section 4.2: storage ~11x, execution ~9-12x."""
+    cat = CostCatalog()
+    assert cat.storage_cost_ratio == pytest.approx(11.0)
+    assert 9.0 < cat.execution_cost_ratio < 12.5
+
+
+def test_with_r():
+    assert CostCatalog().with_r(9.0).r == 9.0
+
+
+def test_with_iops_optionally_reprices():
+    cat = CostCatalog().with_iops(5e5)
+    assert cat.iops == 5e5
+    assert cat.ssd_io_dollars == 50.0
+    cat2 = CostCatalog().with_iops(5e5, ssd_io_dollars=40.0)
+    assert cat2.ssd_io_dollars == 40.0
+
+
+def test_with_page_bytes():
+    assert CostCatalog().with_page_bytes(270).page_bytes == 270
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CostCatalog(dram_per_byte=0)
+    with pytest.raises(ValueError):
+        CostCatalog(r=0.5)
+    with pytest.raises(ValueError):
+        CostCatalog(iops=-1)

@@ -1,0 +1,78 @@
+"""Metering a run's actual dollar bill."""
+
+import pytest
+
+from repro.core import CostBill, CostCatalog, meter_bill
+from repro.hardware import Machine
+
+
+def test_idle_machine_bills_storage_only():
+    machine = Machine.paper_default()
+    machine.dram.allocate(1_000_000, "data")
+    machine.ssd.store_bytes(2_000_000)
+    machine.clock.advance(10.0)
+    bill = meter_bill(machine, window_seconds=10.0)
+    assert bill.processor_cost == 0.0
+    assert bill.io_cost == 0.0
+    assert bill.dram_cost == pytest.approx(1_000_000 * 5e-9)
+    assert bill.flash_cost == pytest.approx(2_000_000 * 0.5e-9)
+    assert bill.total == bill.storage_cost
+
+
+def test_busy_machine_bills_processor_fraction():
+    machine = Machine.paper_default(cores=4)
+    # 2 of 4 core-seconds busy over a 1-second window: half the CPU.
+    machine.cpu.charge_us(2e6)
+    bill = meter_bill(machine, window_seconds=1.0)
+    assert bill.processor_cost == pytest.approx(300 * 0.5)
+
+
+def test_io_billed_as_iops_fraction():
+    machine = Machine.paper_default()
+    for __ in range(1000):
+        machine.ssd.read(4096)
+    # 1000 I/Os in 1 s against a 2e5-IOPS device: 0.5% of $50.
+    bill = meter_bill(machine, window_seconds=1.0)
+    assert bill.io_cost == pytest.approx(50 * 1000 / 2e5)
+
+
+def test_fractions_clamped_at_capacity():
+    machine = Machine.paper_default(cores=1)
+    machine.cpu.charge_us(5e6)   # 5 core-seconds in a 1-second window
+    bill = meter_bill(machine, window_seconds=1.0)
+    assert bill.processor_cost == pytest.approx(300.0)
+
+
+def test_cost_per_operation():
+    machine = Machine.paper_default()
+    machine.dram.allocate(100, "x")
+    for __ in range(10):
+        machine.begin_operation()
+        machine.cpu.charge_us(1.0)
+    bill = meter_bill(machine, window_seconds=2.0)
+    assert bill.operations == 10
+    assert bill.cost_per_operation == pytest.approx(
+        bill.total * 2.0 / 10
+    )
+
+
+def test_empty_bill():
+    machine = Machine.paper_default()
+    bill = meter_bill(machine, window_seconds=1.0)
+    assert bill.total == 0.0
+    assert bill.cost_per_operation == 0.0
+
+
+def test_custom_catalog_prices():
+    machine = Machine.paper_default()
+    machine.dram.allocate(1000, "x")
+    pricey = CostCatalog(dram_per_byte=1e-6)
+    bill = meter_bill(machine, catalog=pricey, window_seconds=1.0)
+    assert bill.dram_cost == pytest.approx(1e-3)
+
+
+def test_bill_is_frozen_value_object():
+    bill = CostBill(1.0, 2.0, 3.0, 4.0, window_seconds=1.0, operations=1)
+    assert bill.total == 10.0
+    assert bill.storage_cost == 3.0
+    assert bill.execution_cost == 7.0

@@ -1,0 +1,134 @@
+"""Equations 4-5 pricing and the CSS extension."""
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    CostCatalog,
+    CssParameters,
+    OperationCostModel,
+    breakeven_rate_ops_per_sec,
+    logspace_rates,
+)
+
+
+@pytest.fixture
+def model() -> OperationCostModel:
+    return OperationCostModel(CostCatalog())
+
+
+class TestEquation4:
+    def test_zero_rate_is_pure_storage(self, model):
+        cost = model.mm_cost(0.0)
+        assert cost.execution_cost == 0.0
+        assert cost.storage_cost == pytest.approx(
+            model.catalog.mm_storage_cost()
+        )
+
+    def test_execution_scales_linearly(self, model):
+        assert model.mm_cost(200.0).execution_cost == pytest.approx(
+            2 * model.mm_cost(100.0).execution_cost
+        )
+
+    def test_total_is_sum(self, model):
+        cost = model.mm_cost(10.0)
+        assert cost.total == pytest.approx(
+            cost.storage_cost + cost.execution_cost
+        )
+
+    def test_custom_size(self, model):
+        assert model.mm_cost(0.0, nbytes=1000).storage_cost \
+            == pytest.approx(5.5e-9 * 1000)
+
+
+class TestEquation5:
+    def test_ss_storage_is_flash_only(self, model):
+        cost = model.ss_cost(0.0)
+        assert cost.storage_cost == pytest.approx(0.5e-9 * 2700)
+
+    def test_ss_execution_includes_io_and_r(self, model):
+        cost = model.ss_cost(1.0)
+        assert cost.execution_cost == pytest.approx(
+            50 / 2e5 + 5.8 * 300 / 4e6
+        )
+
+    def test_negative_rate_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.ss_cost(-1.0)
+
+
+class TestCss:
+    def test_css_storage_shrinks_with_ratio(self):
+        model = OperationCostModel(
+            CostCatalog(), CssParameters(compression_ratio=0.4, r_css=9.0)
+        )
+        assert model.css_cost(0.0).storage_cost == pytest.approx(
+            0.4 * model.ss_cost(0.0).storage_cost
+        )
+
+    def test_css_execution_exceeds_ss(self):
+        model = OperationCostModel(
+            CostCatalog(), CssParameters(compression_ratio=0.5, r_css=9.0)
+        )
+        assert (model.css_cost(1.0).execution_cost
+                > model.ss_cost(1.0).execution_cost)
+
+    def test_css_validation(self):
+        with pytest.raises(ValueError):
+            CssParameters(compression_ratio=0.0)
+        with pytest.raises(ValueError):
+            CssParameters(compression_ratio=1.2)
+        with pytest.raises(ValueError):
+            CssParameters(r_css=0)
+
+
+class TestWinners:
+    def test_cheapest_flips_at_breakeven(self, model):
+        breakeven = breakeven_rate_ops_per_sec(model.catalog)
+        assert model.cheapest(breakeven * 0.5).kind == "SS"
+        assert model.cheapest(breakeven * 2.0).kind == "MM"
+
+    def test_costs_equal_at_breakeven(self, model):
+        breakeven = breakeven_rate_ops_per_sec(model.catalog)
+        mm = model.mm_cost(breakeven).total
+        ss = model.ss_cost(breakeven).total
+        assert mm == pytest.approx(ss, rel=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rate=st.floats(1e-6, 1e3))
+    def test_cheapest_is_minimum_property(self, rate):
+        model = OperationCostModel(CostCatalog())
+        winner = model.cheapest(rate, include_css=True)
+        candidates = [model.mm_cost(rate), model.ss_cost(rate),
+                      model.css_cost(rate)]
+        assert winner.total == pytest.approx(
+            min(c.total for c in candidates)
+        )
+
+    def test_curves_structure(self, model):
+        rates = [0.01, 0.1, 1.0]
+        curves = model.curves(rates, include_css=True)
+        assert set(curves) == {"rates", "MM", "SS", "CSS"}
+        assert len(curves["MM"]) == 3
+
+
+class TestLogspace:
+    def test_endpoints_and_count(self):
+        rates = logspace_rates(0.01, 100.0, 9)
+        assert rates[0] == pytest.approx(0.01)
+        assert rates[-1] == pytest.approx(100.0)
+        assert len(rates) == 9
+
+    def test_monotone(self):
+        rates = logspace_rates(1.0, 1e6, 20)
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            logspace_rates(0, 10, 5)
+        with pytest.raises(ValueError):
+            logspace_rates(10, 1, 5)
+        with pytest.raises(ValueError):
+            logspace_rates(1, 10, 1)

@@ -1,0 +1,85 @@
+"""Equations 7-8: the Bw-tree vs MassTree comparison."""
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import CostCatalog, MainMemoryComparison, paper_comparison
+
+
+def test_paper_constant_8_3e3():
+    """Equation (8): Ti = 8.3e3 / Size with Px=2.6, Mx=2.1."""
+    assert paper_comparison().breakeven_constant \
+        == pytest.approx(8.3e3, rel=0.02)
+
+
+def test_paper_crossover_at_6_1_gb():
+    """Section 5.2: ~0.73e6 ops/sec for the 6.1 GB footprint."""
+    rate = paper_comparison().breakeven_rate_ops_per_sec(6.1e9)
+    assert rate == pytest.approx(0.73e6, rel=0.01)
+
+
+def test_paper_crossover_at_100_gb():
+    """Section 5.2: ~12e6 ops/sec for a 100 GB database."""
+    rate = paper_comparison().breakeven_rate_ops_per_sec(100e9)
+    assert rate == pytest.approx(12e6, rel=0.02)
+
+
+def test_paper_page_interval_3_1_seconds():
+    """Section 5.2: Ti < 3.1 s for a 2.7 KB page."""
+    interval = paper_comparison().breakeven_interval_seconds(2.7e3)
+    assert interval == pytest.approx(3.1, abs=0.05)
+
+
+def test_crossover_scales_inverse_with_size():
+    cmp = paper_comparison()
+    assert cmp.breakeven_rate_ops_per_sec(10e9) == pytest.approx(
+        10 * cmp.breakeven_rate_ops_per_sec(1e9)
+    )
+
+
+def test_costs_equal_at_breakeven():
+    cmp = paper_comparison()
+    size = 6.1e9
+    rate = cmp.breakeven_rate_ops_per_sec(size)
+    assert cmp.bwtree_cost(rate, size) == pytest.approx(
+        cmp.masstree_cost(rate, size), rel=1e-9
+    )
+
+
+def test_winner_flips_at_crossover():
+    cmp = paper_comparison()
+    size = 6.1e9
+    rate = cmp.breakeven_rate_ops_per_sec(size)
+    assert cmp.cheaper_system(rate * 0.5, size) == "bwtree"
+    assert cmp.cheaper_system(rate * 2.0, size) == "masstree"
+
+
+def test_curves_structure():
+    curves = paper_comparison().curves([1e5, 1e6], 6.1e9)
+    assert set(curves) == {"rates", "bwtree", "masstree"}
+    assert len(curves["bwtree"]) == 2
+
+
+def test_px_mx_validation():
+    with pytest.raises(ValueError):
+        MainMemoryComparison(px=1.0, mx=2.0, catalog=CostCatalog())
+    with pytest.raises(ValueError):
+        MainMemoryComparison(px=2.0, mx=1.0, catalog=CostCatalog())
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        paper_comparison().breakeven_interval_seconds(0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(px=st.floats(1.01, 10), mx=st.floats(1.01, 10),
+       size=st.floats(1e6, 1e12))
+def test_breakeven_equalizes_costs_property(px, mx, size):
+    cmp = MainMemoryComparison(px=px, mx=mx, catalog=CostCatalog())
+    rate = cmp.breakeven_rate_ops_per_sec(size)
+    assert cmp.bwtree_cost(rate, size) == pytest.approx(
+        cmp.masstree_cost(rate, size), rel=1e-6
+    )

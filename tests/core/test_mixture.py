@@ -1,0 +1,128 @@
+"""Equations 1-3 and the R-derivation machinery."""
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    MeasuredPoint,
+    MixtureModel,
+    derive_r_from_point,
+    mixed_execution_time,
+    mixed_throughput,
+    relative_performance,
+)
+
+
+class TestEquations:
+    def test_all_mm_is_p0(self):
+        assert mixed_throughput(1e6, 0.0, 5.8) == pytest.approx(1e6)
+
+    def test_all_ss_is_p0_over_r(self):
+        """At cache miss ratio 1, throughput is P0/R (Section 2.2)."""
+        assert mixed_throughput(1e6, 1.0, 5.8) == pytest.approx(1e6 / 5.8)
+
+    def test_equation_1_weighted_average(self):
+        time = mixed_execution_time(1e6, 0.25, 5.0)
+        assert time == pytest.approx(0.75 / 1e6 + 0.25 * 5 / 1e6)
+
+    def test_throughput_is_inverse_of_time(self):
+        f, r, p0 = 0.3, 5.8, 2e6
+        assert mixed_throughput(p0, f, r) == pytest.approx(
+            1.0 / mixed_execution_time(p0, f, r)
+        )
+
+    def test_monotone_decline_in_f(self):
+        values = [relative_performance(f / 20, 5.8) for f in range(21)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_equation_3_inverts_equation_2(self):
+        p0, f, r = 4e6, 0.37, 5.8
+        pf = mixed_throughput(p0, f, r)
+        assert derive_r_from_point(p0, pf, f) == pytest.approx(r)
+
+    def test_r_undefined_at_zero_f(self):
+        with pytest.raises(ValueError):
+            derive_r_from_point(1e6, 1e6, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixed_throughput(1e6, 1.5, 5.8)
+        with pytest.raises(ValueError):
+            mixed_throughput(0, 0.5, 5.8)
+        with pytest.raises(ValueError):
+            mixed_throughput(1e6, 0.5, 0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(p0=st.floats(1e3, 1e8), f=st.floats(0.01, 1.0),
+           r=st.floats(1.0, 50.0))
+    def test_equation_3_roundtrip_property(self, p0, f, r):
+        pf = mixed_throughput(p0, f, r)
+        assert derive_r_from_point(p0, pf, f) == pytest.approx(r, rel=1e-9)
+
+    @settings(max_examples=200, deadline=None)
+    @given(f=st.floats(0.0, 1.0), r=st.floats(1.0, 50.0))
+    def test_relative_performance_bounded(self, f, r):
+        rel = relative_performance(f, r)
+        assert 1.0 / r - 1e-12 <= rel <= 1.0 + 1e-12
+
+
+class TestMixtureModel:
+    def test_band_bounds(self):
+        model = MixtureModel(5.8, band_fraction=0.3)
+        assert model.r_low == pytest.approx(5.8 * 0.7)
+        assert model.r_high == pytest.approx(5.8 * 1.3)
+
+    def test_band_ordering(self):
+        """Lower R = better performance = the upper curve."""
+        model = MixtureModel(5.8)
+        upper, lower = model.band([0.5])
+        assert upper[0] > lower[0]
+
+    def test_point_in_band(self):
+        model = MixtureModel(5.8)
+        p0 = 1e6
+        inside = MeasuredPoint(0.5, mixed_throughput(p0, 0.5, 5.8))
+        outside = MeasuredPoint(0.5, mixed_throughput(p0, 0.5, 20.0))
+        assert model.point_in_band(inside, p0)
+        assert not model.point_in_band(outside, p0)
+
+    def test_derive_excludes_io_bound(self):
+        model = MixtureModel()
+        p0 = 1e6
+        points = [
+            MeasuredPoint(0.5, mixed_throughput(p0, 0.5, 6.0)),
+            MeasuredPoint(0.6, mixed_throughput(p0, 0.6, 6.0),
+                          io_bound=True),
+        ]
+        derivation = model.derive(p0, points)
+        assert len(derivation.r_values) == 1
+        assert derivation.excluded_io_bound == 1
+        assert derivation.mean == pytest.approx(6.0)
+
+    def test_derive_excludes_tiny_f(self):
+        model = MixtureModel()
+        p0 = 1e6
+        points = [MeasuredPoint(0.001, p0 * 0.999)]
+        derivation = model.derive(p0, points, min_f=0.01)
+        assert derivation.r_values == ()
+
+    def test_spread_fraction(self):
+        model = MixtureModel()
+        p0 = 1e6
+        points = [
+            MeasuredPoint(0.5, mixed_throughput(p0, 0.5, 5.0)),
+            MeasuredPoint(0.5, mixed_throughput(p0, 0.5, 7.0)),
+        ]
+        derivation = model.derive(p0, points)
+        assert derivation.mean == pytest.approx(6.0)
+        assert derivation.spread_fraction == pytest.approx(1.0 / 6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixtureModel(r=0)
+        with pytest.raises(ValueError):
+            MixtureModel(band_fraction=1.0)
+        with pytest.raises(ValueError):
+            MeasuredPoint(f=1.2, throughput=1.0)

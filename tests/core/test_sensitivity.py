@@ -1,0 +1,145 @@
+"""Price-trend projection and sensitivity sweeps."""
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    CostCatalog,
+    PriceTrends,
+    breakeven_interval_seconds,
+    breakeven_trajectory,
+    cpu_term_trajectory,
+    grid_sweep,
+    project_catalog,
+    tornado,
+)
+
+
+class TestProjection:
+    def test_zero_years_is_identity(self):
+        catalog = CostCatalog()
+        assert project_catalog(catalog, PriceTrends(), 0.0) == catalog
+
+    def test_compound_rates(self):
+        catalog = CostCatalog()
+        trends = PriceTrends(dram_per_year=-0.10, flash_per_year=-0.20,
+                             iops_per_year=0.25, rops_per_year=0.0)
+        future = project_catalog(catalog, trends, 2.0)
+        assert future.dram_per_byte == pytest.approx(5e-9 * 0.9 ** 2)
+        assert future.flash_per_byte == pytest.approx(0.5e-9 * 0.8 ** 2)
+        assert future.iops == pytest.approx(2e5 * 1.25 ** 2)
+        assert future.rops == catalog.rops
+
+    def test_negative_years_rejected(self):
+        with pytest.raises(ValueError):
+            project_catalog(CostCatalog(), PriceTrends(), -1.0)
+
+    def test_trend_validation(self):
+        with pytest.raises(ValueError):
+            PriceTrends(dram_per_year=-1.5)
+        with pytest.raises(ValueError):
+            PriceTrends(iops_per_year=-1.0)
+
+    def test_prices_stay_positive_property(self):
+        trends = PriceTrends(dram_per_year=-0.5, flash_per_year=-0.9)
+        future = project_catalog(CostCatalog(), trends, 10)
+        assert future.dram_per_byte > 0
+        assert future.flash_per_byte > 0
+
+
+class TestTrajectories:
+    def test_breakeven_trajectory_years_preserved(self):
+        points = breakeven_trajectory(CostCatalog(), PriceTrends(),
+                                      [0, 1, 2, 5])
+        assert [year for year, __ in points] == [0, 1, 2, 5]
+        assert points[0][1] == pytest.approx(
+            breakeven_interval_seconds(CostCatalog())
+        )
+
+    def test_iops_only_trend_shrinks_breakeven(self):
+        trends = PriceTrends(dram_per_year=0.0, flash_per_year=0.0,
+                             iops_per_year=0.4, rops_per_year=0.0)
+        points = breakeven_trajectory(CostCatalog(), trends,
+                                      [0, 1, 2, 3])
+        values = [ti for __, ti in points]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_dram_cheapening_lengthens_breakeven(self):
+        trends = PriceTrends(dram_per_year=-0.3, flash_per_year=0.0,
+                             iops_per_year=0.0, rops_per_year=0.0)
+        points = breakeven_trajectory(CostCatalog(), trends, [0, 3])
+        assert points[1][1] > points[0][1]
+
+    def test_cpu_term_share_grows_with_iops_trend(self):
+        """The paper's §4.2 claim continues: as device I/O cheapens, the
+        software path becomes the breakeven's dominant term."""
+        trends = PriceTrends(dram_per_year=0.0, flash_per_year=0.0,
+                             iops_per_year=0.4, rops_per_year=0.0)
+        points = cpu_term_trajectory(CostCatalog(), trends, [0, 2, 5])
+        shares = [share for __, share in points]
+        assert all(a < b for a, b in zip(shares, shares[1:]))
+        assert shares[-1] > 0.8
+
+
+class TestGridSweep:
+    def test_grid_shape_and_values(self):
+        result = grid_sweep(
+            CostCatalog(),
+            "dram_per_byte", [2.5e-9, 5e-9],
+            "iops", [1e5, 2e5, 4e5],
+        )
+        assert len(result["grid"]) == 3          # rows = y values
+        assert len(result["grid"][0]) == 2       # cols = x values
+        base = breakeven_interval_seconds(CostCatalog())
+        assert result["grid"][1][1] == pytest.approx(base)
+
+    def test_grid_monotonicity(self):
+        """Ti falls along +IOPS and rises along -DRAM-price."""
+        result = grid_sweep(
+            CostCatalog(),
+            "iops", [1e5, 2e5, 4e5],
+            "dram_per_byte", [2.5e-9, 5e-9],
+        )
+        for row in result["grid"]:
+            assert row[0] > row[1] > row[2]
+        for col in range(3):
+            assert result["grid"][0][col] > result["grid"][1][col]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep(CostCatalog(), "nope", [1], "iops", [1e5])
+
+    def test_custom_metric(self):
+        result = grid_sweep(
+            CostCatalog(),
+            "iops", [1e5, 2e5],
+            "r", [5.0, 6.0],
+            metric=lambda cat: cat.execution_cost_ratio,
+        )
+        assert result["grid"][0][0] > result["grid"][1][1]
+
+
+class TestTornado:
+    def test_sorted_by_impact(self):
+        rows = tornado(CostCatalog())
+        impacts = [abs(high - low) for __, low, high in rows]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_dram_price_is_a_top_driver(self):
+        rows = tornado(CostCatalog())
+        top_fields = [name for name, __, __h in rows[:3]]
+        assert "dram_per_byte" in top_fields
+
+    def test_swing_validation(self):
+        with pytest.raises(ValueError):
+            tornado(CostCatalog(), swing_fraction=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(swing=st.floats(0.05, 0.9))
+    def test_all_fields_present_property(self, swing):
+        rows = tornado(CostCatalog(), swing_fraction=swing)
+        assert len(rows) == 8
+        for __, low, high in rows:
+            assert low > 0 and high > 0

@@ -1,0 +1,212 @@
+"""Section 8.2/8.3 and §7.2-CMM technology analysis."""
+
+import math
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    CmmCostModel,
+    CmmParameters,
+    CostCatalog,
+    FourTierAdvisor,
+    HddParameters,
+    MemoryTier,
+    NvramCostModel,
+    NvramParameters,
+    hdd_breakeven_interval_seconds,
+    hdd_viability,
+)
+
+
+class TestNvramParameters:
+    def test_defaults_between_dram_and_flash(self):
+        nvram = NvramParameters()
+        cat = CostCatalog()
+        assert cat.flash_per_byte < nvram.price_per_byte < cat.dram_per_byte
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NvramParameters(price_per_byte=0)
+        with pytest.raises(ValueError):
+            NvramParameters(slowdown=0.5)
+
+
+class TestNvramCostModel:
+    def test_nvm_cost_structure(self):
+        model = NvramCostModel()
+        cost = model.nvm_cost(0.0)
+        assert cost.kind == "NVM"
+        assert cost.execution_cost == 0.0
+        assert cost.storage_cost == pytest.approx(2.0e-9 * 2700)
+
+    def test_nvm_cheaper_than_ss_when_hot(self):
+        """Section 8.2: fetching from NVRAM has much lower cost than an
+        SS operation that needs I/O."""
+        model = NvramCostModel()
+        rate = 100.0
+        assert model.nvm_cost(rate).total \
+            < model.base.ss_cost(rate).total
+
+    def test_dram_vs_nvm_crossover(self):
+        model = NvramCostModel()
+        rate = model.dram_vs_nvm_breakeven_rate()
+        assert rate > 0
+        assert model.nvm_cost(rate).total == pytest.approx(
+            model.base.mm_cost(rate).total, rel=1e-9
+        )
+        # DRAM wins above the rate, NVRAM below it.
+        assert model.base.mm_cost(rate * 2).total \
+            < model.nvm_cost(rate * 2).total
+        assert model.nvm_cost(rate / 2).total \
+            < model.base.mm_cost(rate / 2).total
+
+    def test_nvm_vs_ss_crossover(self):
+        model = NvramCostModel()
+        rate = model.nvm_vs_ss_breakeven_rate()
+        assert 0 < rate < math.inf
+        assert model.nvm_cost(rate).total == pytest.approx(
+            model.base.ss_cost(rate).total, rel=1e-9
+        )
+
+    def test_nvm_never_wins_if_priced_above_dram(self):
+        model = NvramCostModel(
+            nvram=NvramParameters(price_per_byte=6.0e-9, slowdown=2.0)
+        )
+        assert model.dram_vs_nvm_breakeven_rate() == 0.0
+
+    def test_nvm_always_wins_if_as_fast_as_dram(self):
+        model = NvramCostModel(
+            nvram=NvramParameters(price_per_byte=2e-9, slowdown=1.0)
+        )
+        assert model.dram_vs_nvm_breakeven_rate() == math.inf
+
+    def test_nvram_in_ssd_saves_little(self):
+        """Section 8.2: inside the SSD, NVRAM saves only the device term;
+        the software path dominates, so under half the cost goes away."""
+        model = NvramCostModel()
+        assert model.nvram_in_ssd_savings_fraction() < 0.5
+        assert model.nvram_in_ssd_savings_fraction() > 0.0
+
+
+class TestFourTierAdvisor:
+    def test_tier_ordering_across_rates(self):
+        """Cold to hot: CSS, then SS, then NVM, then DRAM."""
+        advisor = FourTierAdvisor()
+        assert advisor.tier_for_rate(1e-7) is MemoryTier.CSS
+        assert advisor.tier_for_rate(1e3) is MemoryTier.DRAM
+        sequence = advisor.tier_sequence(
+            [10 ** e for e in range(-7, 4)]
+        )
+        # Once a hotter tier appears, colder tiers never come back.
+        order = [MemoryTier.CSS, MemoryTier.SS, MemoryTier.NVM,
+                 MemoryTier.DRAM]
+        positions = [order.index(tier) for tier in sequence]
+        assert positions == sorted(positions)
+
+    def test_nvm_occupies_a_band(self):
+        """With the default parameters NVRAM wins somewhere between flash
+        and DRAM — the paper's 'extended memory' role."""
+        advisor = FourTierAdvisor()
+        sequence = advisor.tier_sequence(
+            [10 ** (e / 4) for e in range(-28, 16)]
+        )
+        assert MemoryTier.NVM in sequence
+
+    def test_costs_at_reports_all_tiers(self):
+        costs = FourTierAdvisor().costs_at(1.0)
+        assert set(costs) == set(MemoryTier)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rate=st.floats(1e-8, 1e4))
+    def test_advisor_picks_minimum_property(self, rate):
+        advisor = FourTierAdvisor()
+        costs = advisor.costs_at(rate)
+        assert costs[advisor.tier_for_rate(rate)] == pytest.approx(
+            min(costs.values())
+        )
+
+
+class TestHdd:
+    def test_parameters(self):
+        assert HddParameters().iops == 200.0
+        assert HddParameters.commodity().iops == 100.0
+        with pytest.raises(ValueError):
+            HddParameters(iops=0)
+
+    def test_paper_arithmetic(self):
+        """Section 8.3: 1000 ops/ms, 5000 ops in one HDD latency, 20
+        transactions/sec at 10 I/Os per transaction."""
+        report = hdd_viability(system_ops_per_sec=1e6)
+        assert report.ops_per_hdd_latency == pytest.approx(5000)
+        assert report.max_transactions_per_sec == pytest.approx(20)
+        assert report.max_miss_fraction == pytest.approx(2e-4)
+        assert not report.viable_for_random_io
+
+    def test_commodity_worse(self):
+        best = hdd_viability(HddParameters(), 1e6)
+        commodity = hdd_viability(HddParameters.commodity(), 1e6)
+        assert commodity.max_transactions_per_sec \
+            < best.max_transactions_per_sec
+
+    def test_slow_system_can_live_with_hdd(self):
+        report = hdd_viability(system_ops_per_sec=1e4)
+        assert report.viable_for_random_io
+
+    def test_hdd_breakeven_enormous(self):
+        """'Disk is tape': the HDD breakeven is hours, not seconds."""
+        hdd_interval = hdd_breakeven_interval_seconds()
+        assert hdd_interval > 3600            # over an hour
+        from repro.core import breakeven_interval_seconds
+        assert hdd_interval > 100 * breakeven_interval_seconds(
+            CostCatalog()
+        )
+
+    def test_viability_validation(self):
+        with pytest.raises(ValueError):
+            hdd_viability(system_ops_per_sec=0)
+
+
+class TestCmm:
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            CmmParameters(compression_ratio=0.0)
+        with pytest.raises(ValueError):
+            CmmParameters(decompress_ratio=-1)
+
+    def test_cmm_storage_cheaper_than_mm(self):
+        model = CmmCostModel()
+        assert model.cmm_cost(0.0).storage_cost \
+            < model.base.mm_cost(0.0).storage_cost
+
+    def test_cmm_execution_dearer_than_mm(self):
+        model = CmmCostModel()
+        assert model.cmm_cost(1.0).execution_cost \
+            > model.base.mm_cost(1.0).execution_cost
+
+    def test_breakevens_bound_a_window(self):
+        """The paper's conjecture: a middle band where CMM wins."""
+        model = CmmCostModel(
+            cmm=CmmParameters(compression_ratio=0.4, decompress_ratio=2.0)
+        )
+        low = model.cmm_vs_ss_breakeven_rate()
+        high = model.mm_vs_cmm_breakeven_rate()
+        assert model.has_winning_window()
+        mid = (low * high) ** 0.5
+        cmm = model.cmm_cost(mid).total
+        assert cmm < model.base.mm_cost(mid).total
+        assert cmm < model.base.ss_cost(mid).total
+
+    def test_no_window_when_decompression_too_dear(self):
+        model = CmmCostModel(
+            cmm=CmmParameters(compression_ratio=0.9,
+                              decompress_ratio=50.0)
+        )
+        assert not model.has_winning_window()
+
+    def test_mm_wins_at_high_rates(self):
+        model = CmmCostModel()
+        rate = model.mm_vs_cmm_breakeven_rate() * 3
+        assert model.base.mm_cost(rate).total < model.cmm_cost(rate).total

@@ -1,0 +1,135 @@
+"""Tier selection and cost-optimal cache sizing."""
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    CacheSizingAdvisor,
+    CostCatalog,
+    CssParameters,
+    Tier,
+    TierAdvisor,
+    breakeven_rate_ops_per_sec,
+)
+
+
+@pytest.fixture
+def advisor() -> TierAdvisor:
+    return TierAdvisor(CostCatalog(),
+                       CssParameters(compression_ratio=0.5, r_css=9.0))
+
+
+class TestTierAdvisor:
+    def test_hot_page_goes_to_dram(self, advisor):
+        assert advisor.tier_for_rate(100.0) is Tier.MM
+
+    def test_cold_page_goes_to_compressed_flash(self, advisor):
+        assert advisor.tier_for_rate(1e-6) is Tier.CSS
+
+    def test_warm_page_goes_to_flash(self, advisor):
+        boundaries = advisor.boundaries()
+        mid = (boundaries.css_to_ss_rate * boundaries.ss_to_mm_rate) ** 0.5
+        assert advisor.tier_for_rate(mid) is Tier.SS
+
+    def test_interval_form(self, advisor):
+        assert advisor.tier_for_interval(0.001) is Tier.MM
+        assert advisor.tier_for_interval(1e7) is Tier.CSS
+        with pytest.raises(ValueError):
+            advisor.tier_for_interval(0)
+
+    def test_boundaries_ordered(self, advisor):
+        boundaries = advisor.boundaries()
+        assert 0 < boundaries.css_to_ss_rate < boundaries.ss_to_mm_rate
+
+    def test_ss_to_mm_boundary_is_equation_6(self, advisor):
+        assert advisor.boundaries().ss_to_mm_rate == pytest.approx(
+            breakeven_rate_ops_per_sec(advisor.catalog)
+        )
+
+    def test_boundary_tier_lookup_matches_advisor(self, advisor):
+        boundaries = advisor.boundaries()
+        for rate in (1e-7, 1e-3, 1.0, 100.0):
+            assert boundaries.tier_for(rate) is advisor.tier_for_rate(rate)
+
+    def test_without_css_only_two_tiers(self):
+        advisor = TierAdvisor(include_css=False)
+        assert advisor.tier_for_rate(1e-9) is Tier.SS
+        assert advisor.tier_for_rate(1e3) is Tier.MM
+
+    def test_free_decompression_makes_css_dominate_ss(self):
+        cat = CostCatalog()
+        advisor = TierAdvisor(cat, CssParameters(
+            compression_ratio=0.5, r_css=cat.r,
+        ))
+        assert advisor.boundaries().css_to_ss_rate == float("inf")
+
+    @settings(max_examples=100, deadline=None)
+    @given(rate=st.floats(1e-9, 1e4))
+    def test_advisor_picks_true_minimum_property(self, rate):
+        advisor = TierAdvisor(CostCatalog(),
+                              CssParameters(0.5, 9.0))
+        tier = advisor.tier_for_rate(rate)
+        model = advisor.model
+        costs = {
+            Tier.MM: model.mm_cost(rate).total,
+            Tier.SS: model.ss_cost(rate).total,
+            Tier.CSS: model.css_cost(rate).total,
+        }
+        assert costs[tier] == pytest.approx(min(costs.values()))
+
+
+class TestCacheSizing:
+    def test_threshold_policy(self):
+        advisor = CacheSizingAdvisor()
+        breakeven = breakeven_rate_ops_per_sec(advisor.catalog)
+        rates = [breakeven * 10, breakeven * 2, breakeven / 2,
+                 breakeven / 10]
+        result = advisor.size_for(rates)
+        assert result.cached_pages == 2
+        assert result.cache_bytes == pytest.approx(
+            2 * advisor.catalog.page_bytes
+        )
+        assert result.tier_of_page[:2] == (Tier.MM, Tier.MM)
+
+    def test_optimal_beats_extremes(self):
+        """The sized cache costs no more than all-DRAM or no-cache."""
+        advisor = CacheSizingAdvisor()
+        breakeven = breakeven_rate_ops_per_sec(advisor.catalog)
+        rates = [breakeven * factor
+                 for factor in (100, 10, 2, 0.5, 0.1, 0.01)]
+        sized = advisor.size_for(rates).total_cost
+        assert sized <= advisor.cost_if_all_cached(rates) + 1e-15
+        assert sized <= advisor.cost_if_none_cached(rates) + 1e-15
+
+    def test_all_hot_caches_everything(self):
+        advisor = CacheSizingAdvisor()
+        breakeven = breakeven_rate_ops_per_sec(advisor.catalog)
+        result = advisor.size_for([breakeven * 5] * 10)
+        assert result.cached_pages == 10
+        assert result.total_cost == pytest.approx(
+            advisor.cost_if_all_cached([breakeven * 5] * 10)
+        )
+
+    def test_tier_counts(self):
+        advisor = CacheSizingAdvisor(include_css=True)
+        boundaries = TierAdvisor(advisor.catalog,
+                                 advisor.model.css).boundaries()
+        ss_mid = (boundaries.css_to_ss_rate
+                  * boundaries.ss_to_mm_rate) ** 0.5
+        rates = [boundaries.ss_to_mm_rate * 10,
+                 ss_mid,
+                 boundaries.css_to_ss_rate / 10]
+        counts = advisor.size_for(rates).tier_counts
+        assert counts[Tier.MM] == 1
+        assert counts[Tier.SS] == 1
+        assert counts[Tier.CSS] == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(rates=st.lists(st.floats(1e-8, 1e4), min_size=1, max_size=40))
+    def test_sized_never_worse_than_extremes_property(self, rates):
+        advisor = CacheSizingAdvisor()
+        sized = advisor.size_for(rates).total_cost
+        assert sized <= advisor.cost_if_all_cached(rates) * (1 + 1e-12)
+        assert sized <= advisor.cost_if_none_cached(rates) * (1 + 1e-12)

@@ -1,0 +1,75 @@
+"""DeuteronomyEngine facade and transaction context manager."""
+
+import pytest
+
+from repro.bwtree import BwTreeConfig
+from repro.deuteronomy import DeuteronomyEngine, TransactionAborted
+from repro.hardware import Machine
+
+
+@pytest.fixture
+def engine(machine: Machine) -> DeuteronomyEngine:
+    return DeuteronomyEngine(
+        machine, BwTreeConfig(segment_bytes=1 << 16)
+    )
+
+
+def test_autocommit_put_get_delete(engine):
+    engine.put(b"k", b"v")
+    assert engine.get(b"k") == b"v"
+    engine.delete(b"k")
+    assert engine.get(b"k") is None
+
+
+def test_context_manager_commits(engine):
+    with engine.transaction() as txn:
+        engine.tc.write(txn, b"k", b"v")
+    assert engine.get(b"k") == b"v"
+
+
+def test_context_manager_aborts_on_exception(engine):
+    with pytest.raises(RuntimeError):
+        with engine.transaction() as txn:
+            engine.tc.write(txn, b"k", b"v")
+            raise RuntimeError("boom")
+    assert engine.get(b"k") is None
+
+
+def test_context_manager_multi_key(engine):
+    engine.put(b"from", b"100")
+    engine.put(b"to", b"0")
+    with engine.transaction() as txn:
+        amount = engine.tc.read(txn, b"from")
+        engine.tc.write(txn, b"from", b"0")
+        engine.tc.write(txn, b"to", amount)
+    assert engine.get(b"from") == b"0"
+    assert engine.get(b"to") == b"100"
+
+
+def test_conflict_propagates(engine):
+    t1 = engine.tc.begin()
+    t2 = engine.tc.begin()
+    engine.tc.write(t1, b"k", b"A")
+    engine.tc.write(t2, b"k", b"B")
+    engine.tc.commit(t1)
+    with pytest.raises(TransactionAborted):
+        engine.tc.commit(t2)
+
+
+def test_checkpoint_flushes_log_and_pages(engine, machine):
+    for index in range(200):
+        engine.put(b"key%04d" % index, b"v" * 50)
+    engine.checkpoint()
+    assert machine.ssd.counters.get("ssd.writes") > 0
+    assert engine.dc.store.stored_bytes > 0
+
+
+def test_engine_survives_cold_cache(engine):
+    for index in range(300):
+        engine.put(b"key%04d" % index, b"v%d" % index)
+    engine.checkpoint()
+    engine.dc.cache.capacity_bytes = 4096
+    engine.dc.cache.ensure_capacity()
+    engine.dc.cache.capacity_bytes = None
+    for index in range(300):
+        assert engine.get(b"key%04d" % index) == b"v%d" % index

@@ -1,0 +1,90 @@
+"""Version store: visibility, ordering, truncation."""
+
+import pytest
+
+from repro.deuteronomy import Version, VersionStore
+from repro.hardware import Machine
+
+
+@pytest.fixture
+def store(machine: Machine) -> VersionStore:
+    return VersionStore(machine)
+
+
+def v(ts: int, value: bytes = b"v", buffer_id: int = 0) -> Version:
+    return Version(ts, value, buffer_id)
+
+
+def test_add_and_visible(store):
+    store.add(b"k", v(5, b"five"))
+    version, examined = store.visible(b"k", 10)
+    assert version is not None and version.value == b"five"
+    assert examined == 1
+
+
+def test_visibility_respects_snapshot(store):
+    store.add(b"k", v(5, b"five"))
+    store.add(b"k", v(9, b"nine"))
+    assert store.visible(b"k", 9)[0].value == b"nine"
+    assert store.visible(b"k", 8)[0].value == b"five"
+    assert store.visible(b"k", 4)[0] is None
+
+
+def test_unknown_key(store):
+    version, examined = store.visible(b"k", 100)
+    assert version is None and examined == 0
+
+
+def test_timestamps_must_increase(store):
+    store.add(b"k", v(5))
+    with pytest.raises(ValueError):
+        store.add(b"k", v(5))
+    with pytest.raises(ValueError):
+        store.add(b"k", v(4))
+
+
+def test_newest_timestamp(store):
+    assert store.newest_timestamp(b"k") is None
+    store.add(b"k", v(3))
+    store.add(b"k", v(7))
+    assert store.newest_timestamp(b"k") == 7
+
+
+def test_delete_version_visible_as_none_value(store):
+    store.add(b"k", Version(5, None, 0))
+    version, __ = store.visible(b"k", 10)
+    assert version is not None and version.value is None
+
+
+def test_truncate_keeps_visible_horizon_version(store):
+    for ts in (1, 5, 9):
+        store.add(b"k", v(ts, b"%d" % ts))
+    removed = store.truncate(horizon_timestamp=6)
+    # Version 5 is the newest at-or-below the horizon: must survive.
+    assert removed == 1   # only ts=1 dropped
+    assert store.visible(b"k", 6)[0].value == b"5"
+    assert store.visible(b"k", 9)[0].value == b"9"
+
+
+def test_truncate_noop_when_all_above_horizon(store):
+    store.add(b"k", v(10))
+    assert store.truncate(5) == 0
+    assert store.version_count() == 1
+
+
+def test_bytes_accounting(store, machine):
+    store.add(b"k", v(1, b"x" * 100))
+    store.add(b"k", v(2, b"x" * 100))
+    assert machine.dram.bytes_for("tc_version_store") \
+        == store.resident_bytes
+    store.truncate(2)
+    assert machine.dram.bytes_for("tc_version_store") \
+        == store.resident_bytes
+
+
+def test_counts(store):
+    store.add(b"a", v(1))
+    store.add(b"a", v(2))
+    store.add(b"b", v(1))
+    assert store.key_count() == 2
+    assert store.version_count() == 3

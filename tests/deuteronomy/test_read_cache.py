@@ -1,0 +1,67 @@
+"""Read cache: FIFO eviction, budget, hit accounting."""
+
+import pytest
+
+from repro.deuteronomy import ReadCache
+from repro.hardware import Machine
+
+
+@pytest.fixture
+def cache(machine: Machine) -> ReadCache:
+    return ReadCache(machine, budget_bytes=1024)
+
+
+def test_insert_then_hit(cache):
+    cache.insert(b"k", b"v")
+    hit, value = cache.lookup(b"k")
+    assert hit and value == b"v"
+    assert cache.hits == 1
+
+
+def test_miss_counted(cache):
+    hit, value = cache.lookup(b"nope")
+    assert not hit and value is None
+    assert cache.misses == 1
+
+
+def test_hit_rate(cache):
+    cache.insert(b"k", b"v")
+    cache.lookup(b"k")
+    cache.lookup(b"x")
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_fifo_eviction_under_budget(cache):
+    for index in range(50):
+        cache.insert(b"key%04d" % index, b"v" * 40)
+    assert cache.resident_bytes <= 1024
+    assert cache.evicted_records > 0
+    # Oldest gone, newest present.
+    assert not cache.lookup(b"key0000")[0]
+    assert cache.lookup(b"key0049")[0]
+
+
+def test_reinsert_replaces(cache):
+    cache.insert(b"k", b"v1")
+    cache.insert(b"k", b"v2" * 10)
+    assert cache.lookup(b"k")[1] == b"v2" * 10
+    assert len(cache) == 1
+
+
+def test_invalidate(cache):
+    cache.insert(b"k", b"v")
+    cache.invalidate(b"k")
+    assert not cache.lookup(b"k")[0]
+    cache.invalidate(b"never-there")   # silent
+
+
+def test_dram_accounted(cache, machine):
+    cache.insert(b"k", b"v" * 100)
+    assert machine.dram.bytes_for("tc_read_cache") == cache.resident_bytes
+    cache.invalidate(b"k")
+    assert machine.dram.bytes_for("tc_read_cache") == 0
+
+
+def test_budget_validation(machine):
+    with pytest.raises(ValueError):
+        ReadCache(machine, budget_bytes=0)

@@ -1,0 +1,89 @@
+"""Recovery log: buffering, large writes, retention budget."""
+
+import pytest
+
+from repro.deuteronomy import LogRecord, RecoveryLog
+from repro.hardware import Machine
+
+
+def record(index: int, size: int = 50) -> LogRecord:
+    return LogRecord(b"k%04d" % index, b"v" * size, timestamp=index,
+                     txn_id=index)
+
+
+@pytest.fixture
+def log(machine: Machine) -> RecoveryLog:
+    return RecoveryLog(machine, buffer_bytes=1024,
+                       retain_budget_bytes=4096)
+
+
+def test_append_returns_buffer_id(log):
+    assert log.append(record(1)) == 0
+    assert log.appended_records == 1
+
+
+def test_buffer_flushes_when_full(log, machine):
+    writes_before = machine.ssd.counters.get("ssd.writes")
+    for index in range(40):   # ~86 bytes each, 1 KiB buffers
+        log.append(record(index))
+    assert log.flushes >= 2
+    assert machine.ssd.counters.get("ssd.writes") > writes_before
+
+
+def test_flush_is_one_large_write(log, machine):
+    for index in range(5):
+        log.append(record(index))
+    writes_before = machine.ssd.counters.get("ssd.writes")
+    log.flush()
+    assert machine.ssd.counters.get("ssd.writes") == writes_before + 1
+
+
+def test_flush_empty_is_noop(log):
+    assert log.flush() is None
+
+
+def test_flushed_buffers_retained_until_budget(log):
+    for index in range(200):
+        log.append(record(index))
+    assert log.retained_bytes <= 4096 + 1024   # budget + open buffer slack
+    assert log.dropped_buffers > 0
+
+
+def test_retention_dram_accounted(machine):
+    log = RecoveryLog(machine, buffer_bytes=1024,
+                      retain_budget_bytes=2048)
+    for index in range(100):
+        log.append(record(index))
+    assert machine.dram.bytes_for("tc_recovery_log") == log.retained_bytes
+
+
+def test_is_buffer_retained(log):
+    first_buffer = log.append(record(0))
+    assert log.is_buffer_retained(first_buffer)
+    for index in range(1, 300):
+        log.append(record(index))
+    assert not log.is_buffer_retained(first_buffer)
+    assert log.is_buffer_retained(log.append(record(999)))
+
+
+def test_unbounded_retention(machine):
+    log = RecoveryLog(machine, buffer_bytes=512, retain_budget_bytes=None)
+    for index in range(100):
+        log.append(record(index))
+    assert log.dropped_buffers == 0
+
+
+def test_oversized_record_rejected(log):
+    with pytest.raises(ValueError):
+        log.append(record(1, size=5000))
+
+
+def test_retained_record_index_newest_wins(log):
+    log.append(LogRecord(b"k", b"v1", 1, 1))
+    log.append(LogRecord(b"k", b"v2", 2, 2))
+    assert log.retained_record_index()[b"k"].value == b"v2"
+
+
+def test_delete_record_allowed(log):
+    buffer_id = log.append(LogRecord(b"k", None, 1, 1))
+    assert log.is_buffer_retained(buffer_id)

@@ -1,0 +1,167 @@
+"""Transaction component: lifecycle, snapshots, conflicts, caching tiers."""
+
+import pytest
+
+from repro.bwtree import BwTree, BwTreeConfig
+from repro.deuteronomy import (
+    TcConfig,
+    TransactionAborted,
+    TransactionComponent,
+    TxnStatus,
+)
+from repro.hardware import Machine
+
+
+@pytest.fixture
+def tc(machine: Machine) -> TransactionComponent:
+    tree = BwTree(machine, BwTreeConfig(segment_bytes=1 << 16))
+    return TransactionComponent(machine, tree, TcConfig(
+        log_buffer_bytes=1 << 12,
+        log_retain_budget_bytes=1 << 14,
+        read_cache_bytes=1 << 14,
+    ))
+
+
+class TestLifecycle:
+    def test_begin_commit(self, tc):
+        txn = tc.begin()
+        assert txn.status is TxnStatus.ACTIVE
+        ts = tc.commit(txn)
+        assert ts > 0
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_abort_discards_writes(self, tc):
+        txn = tc.begin()
+        tc.write(txn, b"k", b"v")
+        tc.abort(txn)
+        assert tc.dc.get(b"k") is None
+        reader = tc.begin()
+        assert tc.read(reader, b"k") is None
+
+    def test_double_commit_rejected(self, tc):
+        txn = tc.begin()
+        tc.commit(txn)
+        with pytest.raises(ValueError):
+            tc.commit(txn)
+        with pytest.raises(ValueError):
+            tc.read(txn, b"k")
+
+    def test_commit_timestamps_monotonic(self, tc):
+        first = tc.run_update(b"a", b"1")
+        second = tc.run_update(b"b", b"2")
+        assert second > first
+
+
+class TestReadsAndWrites:
+    def test_committed_write_visible_to_later_txn(self, tc):
+        tc.run_update(b"k", b"v")
+        txn = tc.begin()
+        assert tc.read(txn, b"k") == b"v"
+
+    def test_read_your_own_writes(self, tc):
+        txn = tc.begin()
+        tc.write(txn, b"k", b"mine")
+        assert tc.read(txn, b"k") == b"mine"
+        tc.abort(txn)
+
+    def test_snapshot_does_not_see_later_commits(self, tc):
+        tc.run_update(b"k", b"v1")
+        reader = tc.begin()
+        tc.run_update(b"k", b"v2")
+        assert tc.read(reader, b"k") == b"v1"
+
+    def test_delete_via_none(self, tc):
+        tc.run_update(b"k", b"v")
+        tc.run_update(b"k", None)
+        txn = tc.begin()
+        assert tc.read(txn, b"k") is None
+        assert tc.dc.get(b"k") is None
+
+    def test_writes_reach_dc_as_blind_updates(self, tc, machine):
+        ios_before = machine.ssd.total_ios
+        tc.run_update(b"k", b"v")
+        assert tc.dc.get(b"k") == b"v"
+        # The DC update itself never read flash.
+        assert tc.dc.counters.get("bwtree.ios") == 0
+        del ios_before
+
+    def test_run_read_only(self, tc):
+        tc.run_update(b"a", b"1")
+        tc.run_update(b"b", b"2")
+        assert tc.run_read_only([b"a", b"b", b"c"]) == [b"1", b"2", None]
+
+
+class TestConflicts:
+    def test_write_write_conflict_aborts_second(self, tc):
+        t1 = tc.begin()
+        t2 = tc.begin()
+        tc.write(t1, b"k", b"A")
+        tc.write(t2, b"k", b"B")
+        tc.commit(t1)
+        with pytest.raises(TransactionAborted):
+            tc.commit(t2)
+        assert t2.status is TxnStatus.ABORTED
+        assert tc.dc.get(b"k") == b"A"
+
+    def test_disjoint_writes_both_commit(self, tc):
+        t1 = tc.begin()
+        t2 = tc.begin()
+        tc.write(t1, b"a", b"A")
+        tc.write(t2, b"b", b"B")
+        tc.commit(t1)
+        tc.commit(t2)
+        assert tc.dc.get(b"a") == b"A"
+        assert tc.dc.get(b"b") == b"B"
+
+    def test_read_only_never_conflicts(self, tc):
+        tc.run_update(b"k", b"v1")
+        reader = tc.begin()
+        tc.read(reader, b"k")
+        tc.run_update(b"k", b"v2")
+        tc.commit(reader)   # fine: no writes
+
+
+class TestCachingTiers:
+    def test_recent_update_served_from_log_cache(self, tc):
+        tc.run_update(b"k", b"v")
+        txn = tc.begin()
+        assert tc.read(txn, b"k") == b"v"
+        assert tc.counters.get("tc.log_cache_hits") >= 1
+        assert tc.counters.get("tc.dc_reads") == 0
+
+    def test_dc_read_populates_read_cache(self, tc):
+        # Put data in the DC without going through the TC.
+        tc.dc.upsert(b"cold", b"v")
+        txn = tc.begin()
+        assert tc.read(txn, b"cold") == b"v"
+        assert tc.counters.get("tc.dc_reads") == 1
+        txn2 = tc.begin()
+        assert tc.read(txn2, b"cold") == b"v"
+        assert tc.counters.get("tc.read_cache_hits") == 1
+        assert tc.counters.get("tc.dc_reads") == 1   # no second trip
+
+    def test_update_invalidates_read_cache(self, tc):
+        tc.dc.upsert(b"k", b"old")
+        txn = tc.begin()
+        tc.read(txn, b"k")
+        tc.commit(txn)
+        tc.run_update(b"k", b"new")
+        reader = tc.begin()
+        assert tc.read(reader, b"k") == b"new"
+
+    def test_hit_rate_reported(self, tc):
+        tc.run_update(b"k", b"v")
+        txn = tc.begin()
+        tc.read(txn, b"k")
+        tc.read(txn, b"k")
+        assert tc.tc_hit_rate() > 0.0
+
+    def test_footprint_tracks_components(self, tc, machine):
+        for index in range(100):
+            tc.run_update(b"key%04d" % index, b"v" * 50)
+        assert tc.dram_footprint_bytes() == (
+            machine.dram.bytes_for("tc_recovery_log")
+            + machine.dram.bytes_for("tc_read_cache")
+            + machine.dram.bytes_for("tc_version_store")
+        )
+        assert tc.dram_footprint_bytes() > 0

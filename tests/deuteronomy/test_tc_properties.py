@@ -1,0 +1,116 @@
+"""Property tests for the transaction component.
+
+Serializability-flavoured checks: committed histories are equivalent to
+executing the transactions one at a time in commit order, and snapshot
+reads never see half a transaction.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.bwtree import BwTree, BwTreeConfig
+from repro.deuteronomy import (
+    TcConfig,
+    TransactionAborted,
+    TransactionComponent,
+)
+from repro.hardware import Machine
+
+KEYS = st.sampled_from([b"a", b"b", b"c", b"d", b"e"])
+VALUES = st.binary(min_size=1, max_size=12)
+
+# A transaction = a list of (key, value) writes plus keys to read first.
+TXN = st.tuples(
+    st.lists(KEYS, max_size=3, unique=True),             # read set
+    st.lists(st.tuples(KEYS, VALUES), max_size=3),       # write set
+)
+
+
+def make_tc() -> TransactionComponent:
+    machine = Machine.paper_default(cores=1)
+    tree = BwTree(machine, BwTreeConfig(segment_bytes=1 << 14))
+    return TransactionComponent(machine, tree, TcConfig(
+        log_buffer_bytes=1 << 12,
+        log_retain_budget_bytes=1 << 14,
+        read_cache_bytes=1 << 13,
+    ))
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(txns=st.lists(TXN, max_size=15))
+def test_serial_execution_matches_model(txns):
+    """One-at-a-time transactions behave exactly like a dict."""
+    tc = make_tc()
+    model: dict = {}
+    for read_set, write_set in txns:
+        txn = tc.begin()
+        for key in read_set:
+            assert tc.read(txn, key) == model.get(key)
+        for key, value in write_set:
+            tc.write(txn, key, value)
+        tc.commit(txn)
+        for key, value in write_set:
+            model[key] = value
+    for key in (b"a", b"b", b"c", b"d", b"e"):
+        assert tc.dc.get(key) == model.get(key)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(txns=st.lists(TXN, min_size=2, max_size=10),
+       interleave=st.lists(st.booleans(), min_size=2, max_size=10))
+def test_first_committer_wins_keeps_dc_consistent(txns, interleave):
+    """Two overlapping transactions race; the committed history applied
+    to a dict in commit order must equal the DC contents."""
+    tc = make_tc()
+    model: dict = {}
+    pending = []
+    for index, (read_set, write_set) in enumerate(txns):
+        txn = tc.begin()
+        for key in read_set:
+            tc.read(txn, key)
+        for key, value in write_set:
+            tc.write(txn, key, value)
+        pending.append((txn, write_set))
+        overlap = interleave[index % len(interleave)]
+        if not overlap or len(pending) >= 2:
+            # Commit everything pending (creating ww races when 2 queue).
+            for queued_txn, queued_writes in pending:
+                try:
+                    tc.commit(queued_txn)
+                except TransactionAborted:
+                    continue
+                for key, value in queued_writes:
+                    model[key] = value
+            pending = []
+    for queued_txn, queued_writes in pending:
+        try:
+            tc.commit(queued_txn)
+        except TransactionAborted:
+            continue
+        for key, value in queued_writes:
+            model[key] = value
+    for key in (b"a", b"b", b"c", b"d", b"e"):
+        assert tc.dc.get(key) == model.get(key)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(initial=st.dictionaries(KEYS, VALUES, min_size=1),
+       updates=st.lists(st.tuples(KEYS, VALUES), min_size=1, max_size=8))
+def test_snapshot_reads_are_stable(initial, updates):
+    """A reader opened before a batch of updates sees none of them."""
+    tc = make_tc()
+    for key, value in initial.items():
+        tc.run_update(key, value)
+    reader = tc.begin()
+    first_reads = {key: tc.read(reader, key) for key in initial}
+    for key, value in updates:
+        tc.run_update(key, value)
+    # Same snapshot, same answers — regardless of concurrent commits.
+    for key in initial:
+        assert tc.read(reader, key) == first_reads[key]
+    tc.commit(reader)

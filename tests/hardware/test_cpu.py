@@ -1,0 +1,99 @@
+"""CPU cost model: charging, clock coupling, calibration invariants."""
+
+import pytest
+
+from repro.hardware import CostTable, CpuModel, VirtualClock
+
+
+def test_charge_named_primitive_returns_amount():
+    cpu = CpuModel(cores=1)
+    amount = cpu.charge("op_dispatch")
+    assert amount == pytest.approx(cpu.costs.op_dispatch)
+
+
+def test_charge_with_count_scales():
+    cpu = CpuModel(cores=1)
+    amount = cpu.charge("delta_chain_hop", 5)
+    assert amount == pytest.approx(cpu.costs.delta_chain_hop * 5)
+
+
+def test_busy_accumulates():
+    cpu = CpuModel(cores=1)
+    cpu.charge_us(2.0)
+    cpu.charge_us(3.0)
+    assert cpu.busy_us == pytest.approx(5.0)
+    assert cpu.busy_seconds == pytest.approx(5e-6)
+
+
+def test_rejects_negative_charge():
+    with pytest.raises(ValueError):
+        CpuModel(cores=1).charge_us(-1.0)
+
+
+def test_rejects_zero_cores():
+    with pytest.raises(ValueError):
+        CpuModel(cores=0)
+
+
+def test_clock_advances_scaled_by_cores():
+    clock = VirtualClock()
+    cpu = CpuModel(cores=4, clock=clock)
+    cpu.charge_us(8.0)
+    assert clock.now == pytest.approx(2e-6)
+
+
+def test_elapsed_if_cpu_bound():
+    cpu = CpuModel(cores=2)
+    cpu.charge_us(4e6)   # 4 core-seconds
+    assert cpu.elapsed_if_cpu_bound() == pytest.approx(2.0)
+
+
+def test_categories_tracked():
+    cpu = CpuModel(cores=1)
+    cpu.charge("hash_probe", 2, category="mvcc")
+    assert cpu.counters.get("cpu_us.mvcc") == pytest.approx(
+        2 * cpu.costs.hash_probe
+    )
+
+
+def test_reset_preserves_clock():
+    clock = VirtualClock()
+    cpu = CpuModel(cores=1, clock=clock)
+    cpu.charge_us(10.0)
+    cpu.reset()
+    assert cpu.busy_us == 0.0
+    assert clock.now > 0.0
+
+
+def test_unknown_primitive_raises():
+    with pytest.raises(AttributeError):
+        CpuModel(cores=1).charge("not_a_primitive")
+
+
+class TestCostTable:
+    def test_scaled_multiplies_everything(self):
+        table = CostTable()
+        doubled = table.scaled(2.0)
+        assert doubled.op_dispatch == pytest.approx(table.op_dispatch * 2)
+        assert doubled.io_submit_kernel == pytest.approx(
+            table.io_submit_kernel * 2
+        )
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CostTable().scaled(0.0)
+
+    def test_with_overrides(self):
+        table = CostTable().with_overrides(op_dispatch=9.0)
+        assert table.op_dispatch == 9.0
+        assert table.epoch_protect == CostTable().epoch_protect
+
+    def test_kernel_path_costs_exceed_user_path(self):
+        """The calibration invariant behind R_kernel > R_user."""
+        table = CostTable()
+        assert table.io_submit_kernel > table.io_submit_user
+        assert table.io_complete_kernel > table.io_complete_user
+
+    def test_compression_costs_more_than_decompression(self):
+        table = CostTable()
+        assert table.compress_per_byte > table.decompress_per_byte

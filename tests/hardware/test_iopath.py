@@ -1,0 +1,50 @@
+"""I/O path CPU charges: the source of the user-vs-kernel R gap."""
+
+import pytest
+
+from repro.hardware import CpuModel, IoPathKind, IoPathModel
+
+
+def make(kind: IoPathKind) -> tuple:
+    cpu = CpuModel(cores=1)
+    return cpu, IoPathModel(kind, cpu)
+
+
+def test_user_round_trip_charges_submit_complete_switches():
+    cpu, path = make(IoPathKind.USER_LEVEL)
+    charged = path.charge_round_trip(4096)
+    expected = (cpu.costs.io_submit_user + cpu.costs.io_complete_user
+                + 2 * cpu.costs.context_switch)
+    assert charged == pytest.approx(expected)
+    assert cpu.busy_us == pytest.approx(expected)
+
+
+def test_kernel_round_trip_includes_copy_per_byte():
+    cpu, path = make(IoPathKind.KERNEL)
+    nbytes = 1000
+    charged = path.charge_round_trip(nbytes)
+    expected = (cpu.costs.io_submit_kernel + cpu.costs.io_complete_kernel
+                + 2 * cpu.costs.context_switch
+                + cpu.costs.kernel_copy_per_byte * nbytes)
+    assert charged == pytest.approx(expected)
+
+
+def test_kernel_path_strictly_more_expensive():
+    __, user = make(IoPathKind.USER_LEVEL)
+    __, kernel = make(IoPathKind.KERNEL)
+    assert kernel.charge_round_trip(2700) > user.charge_round_trip(2700)
+
+
+def test_submit_and_complete_sum_to_round_trip():
+    cpu_a, path_a = make(IoPathKind.USER_LEVEL)
+    cpu_b, path_b = make(IoPathKind.USER_LEVEL)
+    path_a.charge_round_trip(512)
+    path_b.charge_submit(512)
+    path_b.charge_complete(512)
+    assert cpu_a.busy_us == pytest.approx(cpu_b.busy_us)
+
+
+def test_charges_land_in_io_path_category():
+    cpu, path = make(IoPathKind.USER_LEVEL)
+    path.charge_round_trip(100)
+    assert cpu.counters.get("cpu_us.io_path") == pytest.approx(cpu.busy_us)

@@ -1,0 +1,279 @@
+"""Crash recovery: checkpointed mapping table + redo-log replay."""
+
+import random
+
+import pytest
+
+from repro.bwtree import BwTree, BwTreeConfig, RecoveryError
+from repro.deuteronomy import DeuteronomyEngine, TcConfig
+from repro.hardware import Machine
+from repro.storage import CheckpointManager, LogStructuredStore
+
+
+def fresh_tree(cache_bytes=None) -> BwTree:
+    machine = Machine.paper_default(cores=1)
+    return BwTree(machine, BwTreeConfig(
+        cache_capacity_bytes=cache_bytes, segment_bytes=1 << 14,
+    ))
+
+
+class TestBwTreeRecovery:
+    def test_recover_roundtrips_checkpointed_data(self):
+        tree = fresh_tree()
+        expected = {}
+        for index in range(800):
+            key, value = b"key%05d" % index, b"v%d" % index
+            tree.upsert(key, value)
+            expected[key] = value
+        tree.checkpoint()
+        recovered = tree.simulate_crash_and_recover()
+        for key, value in expected.items():
+            assert recovered.get(key) == value
+        assert recovered.count_records() == len(expected)
+
+    def test_recover_preserves_scan_order(self):
+        tree = fresh_tree()
+        source = random.Random(3)
+        model = {}
+        for __ in range(600):
+            key = bytes(source.randrange(97, 123)
+                        for __i in range(source.randrange(1, 10)))
+            value = b"v%d" % source.randrange(100)
+            tree.upsert(key, value)
+            model[key] = value
+        tree.checkpoint()
+        recovered = tree.simulate_crash_and_recover()
+        assert list(recovered.scan(b"\x00")) == sorted(model.items())
+
+    def test_unflushed_updates_lost_at_crash(self):
+        tree = fresh_tree()
+        tree.upsert(b"durable", b"1")
+        tree.checkpoint()
+        tree.upsert(b"volatile", b"2")     # never checkpointed
+        recovered = tree.simulate_crash_and_recover()
+        assert recovered.get(b"durable") == b"1"
+        assert recovered.get(b"volatile") is None
+
+    def test_recover_without_checkpoint_raises(self):
+        machine = Machine.paper_default(cores=1)
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        with pytest.raises(RecoveryError):
+            BwTree.recover(machine, store)
+
+    def test_recovered_tree_accepts_new_writes(self):
+        tree = fresh_tree()
+        for index in range(300):
+            tree.upsert(b"key%05d" % index, b"old")
+        tree.checkpoint()
+        recovered = tree.simulate_crash_and_recover()
+        for index in range(300, 500):
+            recovered.upsert(b"key%05d" % index, b"new")
+        recovered.delete(b"key%05d" % 0)
+        assert recovered.get(b"key%05d" % 0) is None
+        assert recovered.get(b"key%05d" % 450) == b"new"
+        assert recovered.count_records() == 499
+
+    def test_double_crash(self):
+        tree = fresh_tree()
+        for index in range(200):
+            tree.upsert(b"key%05d" % index, b"v")
+        tree.checkpoint()
+        once = tree.simulate_crash_and_recover()
+        once.upsert(b"extra", b"x")
+        once.checkpoint()
+        twice = once.simulate_crash_and_recover()
+        assert twice.get(b"extra") == b"x"
+        assert twice.count_records() == 201
+
+    def test_recovery_after_deletes_and_merges(self):
+        tree = fresh_tree()
+        for index in range(1000):
+            tree.upsert(b"key%05d" % index, b"v" * 50)
+        for index in range(0, 1000, 2):
+            tree.delete(b"key%05d" % index)
+        for index in range(0, 1000, 20):
+            tree.get(b"key%05d" % index)    # force consolidations
+        tree.checkpoint()
+        recovered = tree.simulate_crash_and_recover()
+        for index in range(1000):
+            expected = None if index % 2 == 0 else b"v" * 50
+            assert recovered.get(b"key%05d" % index) == expected
+
+    def test_recovery_with_evictions_and_delta_images(self):
+        tree = fresh_tree(cache_bytes=8 * 1024)
+        expected = {}
+        source = random.Random(7)
+        for __ in range(2000):
+            key = b"key%05d" % source.randrange(400)
+            value = bytes(source.randrange(256) for __i in range(40))
+            tree.upsert(key, value)
+            expected[key] = value
+        tree.checkpoint()
+        recovered = tree.simulate_crash_and_recover()
+        for key, value in expected.items():
+            assert recovered.get(key) == value
+
+    def test_collect_garbage_keeps_tree_recoverable(self):
+        tree = fresh_tree(cache_bytes=16 * 1024)
+        expected = {}
+        source = random.Random(11)
+        for round_index in range(4):
+            for __ in range(600):
+                key = b"key%05d" % source.randrange(300)
+                value = bytes(source.randrange(256)
+                              for __i in range(40))
+                tree.upsert(key, value)
+                expected[key] = value
+            for __ in range(150):
+                tree.get(b"key%05d" % source.randrange(300))
+            tree.collect_garbage(0.85)
+        recovered = tree.simulate_crash_and_recover()
+        for key, value in expected.items():
+            assert recovered.get(key) == value
+
+    def test_gc_relocates_checkpoint_image(self):
+        tree = fresh_tree(cache_bytes=16 * 1024)
+        for index in range(500):
+            tree.upsert(b"key%05d" % index, b"v" * 60)
+        tree.checkpoint()
+        before = tree.checkpoints.latest_addr
+        # Rewrite everything so old segments (incl. possibly the one with
+        # the checkpoint) become mostly dead, then clean.
+        for index in range(500):
+            tree.upsert(b"key%05d" % index, b"w" * 60)
+            tree.get(b"key%05d" % index)
+        tree.collect_garbage(0.9)
+        assert CheckpointManager.find_latest(tree.store) is not None
+        del before
+
+    def test_empty_tree_checkpoint_recovery(self):
+        tree = fresh_tree()
+        tree.checkpoint()
+        recovered = tree.simulate_crash_and_recover()
+        assert recovered.get(b"anything") is None
+        recovered.upsert(b"k", b"v")
+        assert recovered.get(b"k") == b"v"
+
+
+class TestEngineRecovery:
+    def make_engine(self) -> DeuteronomyEngine:
+        machine = Machine.paper_default(cores=1)
+        return DeuteronomyEngine(
+            machine,
+            BwTreeConfig(segment_bytes=1 << 14),
+            TcConfig(log_buffer_bytes=1 << 12,
+                     log_retain_budget_bytes=1 << 14,
+                     read_cache_bytes=1 << 13),
+        )
+
+    def test_committed_transactions_survive_crash(self):
+        engine = self.make_engine()
+        for index in range(300):
+            engine.put(b"key%04d" % index, b"v%d" % index)
+        engine.checkpoint()
+        recovered = DeuteronomyEngine.recover(engine)
+        for index in range(300):
+            assert recovered.get(b"key%04d" % index) == b"v%d" % index
+
+    def test_redo_replay_restores_post_checkpoint_commits(self):
+        engine = self.make_engine()
+        engine.put(b"base", b"1")
+        engine.checkpoint()
+        # Post-checkpoint commits, then force only the LOG to flash (the
+        # data pages stay dirty): redo replay must restore them.
+        for index in range(50):
+            engine.put(b"late%03d" % index, b"L%d" % index)
+        engine.tc.log.flush()
+        recovered = DeuteronomyEngine.recover(engine)
+        assert recovered.get(b"base") == b"1"
+        for index in range(50):
+            assert recovered.get(b"late%03d" % index) == b"L%d" % index
+        assert recovered.tc.counters.get("tc.redo_replayed") >= 50
+
+    def test_unflushed_log_tail_is_lost(self):
+        engine = self.make_engine()
+        engine.put(b"durable", b"1")
+        engine.checkpoint()
+        engine.put(b"volatile", b"2")   # redo record still in open buffer
+        recovered = DeuteronomyEngine.recover(engine)
+        assert recovered.get(b"durable") == b"1"
+        assert recovered.get(b"volatile") is None
+
+    def test_deletes_replayed(self):
+        engine = self.make_engine()
+        engine.put(b"k", b"v")
+        engine.checkpoint()
+        engine.delete(b"k")
+        engine.tc.log.flush()
+        recovered = DeuteronomyEngine.recover(engine)
+        assert recovered.get(b"k") is None
+
+    def test_recovered_engine_runs_transactions(self):
+        engine = self.make_engine()
+        engine.put(b"a", b"1")
+        engine.checkpoint()
+        recovered = DeuteronomyEngine.recover(engine)
+        with recovered.transaction() as txn:
+            value = recovered.tc.read(txn, b"a")
+            recovered.tc.write(txn, b"b", value)
+        assert recovered.get(b"b") == b"1"
+
+    def test_replay_order_newest_wins(self):
+        engine = self.make_engine()
+        engine.checkpoint()
+        engine.put(b"k", b"old")
+        engine.put(b"k", b"new")
+        engine.tc.log.flush()
+        recovered = DeuteronomyEngine.recover(engine)
+        assert recovered.get(b"k") == b"new"
+
+
+class TestSyncCommit:
+    def make_engine(self, sync: bool) -> DeuteronomyEngine:
+        machine = Machine.paper_default(cores=1)
+        return DeuteronomyEngine(
+            machine,
+            BwTreeConfig(segment_bytes=1 << 14),
+            TcConfig(log_buffer_bytes=1 << 12,
+                     log_retain_budget_bytes=1 << 14,
+                     read_cache_bytes=1 << 13,
+                     sync_commit=sync),
+        )
+
+    def test_sync_commits_survive_crash_without_checkpoint_flush(self):
+        engine = self.make_engine(sync=True)
+        engine.put(b"base", b"0")
+        engine.checkpoint()
+        # Post-checkpoint sync commits: durable without any extra flush.
+        for index in range(20):
+            engine.put(b"key%02d" % index, b"v%d" % index)
+        recovered = DeuteronomyEngine.recover(engine)
+        for index in range(20):
+            assert recovered.get(b"key%02d" % index) == b"v%d" % index
+
+    def test_async_commits_may_be_lost(self):
+        engine = self.make_engine(sync=False)
+        engine.put(b"base", b"0")
+        engine.checkpoint()
+        engine.put(b"tail", b"volatile")
+        recovered = DeuteronomyEngine.recover(engine)
+        assert recovered.get(b"tail") is None
+
+    def test_sync_commit_costs_more_io(self):
+        writes = {}
+        for sync in (False, True):
+            engine = self.make_engine(sync)
+            engine.machine.reset_accounting()
+            for index in range(50):
+                engine.put(b"key%02d" % (index % 25), b"v")
+            writes[sync] = engine.machine.ssd.counters.get("ssd.writes")
+        assert writes[True] > writes[False]
+
+    def test_read_only_sync_commit_does_not_flush(self):
+        engine = self.make_engine(sync=True)
+        engine.put(b"k", b"v")
+        flushes_before = engine.tc.log.flushes
+        txn = engine.tc.begin()
+        engine.tc.read(txn, b"k")
+        engine.tc.commit(txn)
+        assert engine.tc.log.flushes == flushes_before

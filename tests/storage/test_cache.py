@@ -1,0 +1,276 @@
+"""Page cache: residency accounting, flush policies, eviction, fetch."""
+
+import pytest
+
+from repro.hardware import Machine
+from repro.storage import (
+    DataPageState,
+    DeltaKind,
+    EvictionPolicy,
+    LogStructuredStore,
+    MappingTable,
+    PageCache,
+    Record,
+    RecordDelta,
+)
+
+
+def up(key: bytes, value: bytes, ts: int = 0) -> RecordDelta:
+    return RecordDelta(DeltaKind.UPSERT, key, value, ts)
+
+
+@pytest.fixture
+def rig(machine: Machine):
+    table = MappingTable()
+    store = LogStructuredStore(machine, segment_bytes=1 << 14)
+    cache = PageCache(machine, table, store, capacity_bytes=None)
+    return machine, table, store, cache
+
+
+def make_page(table, cache, records=None):
+    entry = table.allocate()
+    if records:
+        entry.state.install_base(records)
+    cache.register(entry)
+    return entry
+
+
+class TestResidency:
+    def test_register_accounts_dram(self, rig):
+        machine, table, store, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"x" * 100)])
+        assert machine.dram.bytes_for("page_cache") == entry.resident_bytes
+
+    def test_double_register_rejected(self, rig):
+        __, table, __s, cache = rig
+        entry = make_page(table, cache)
+        with pytest.raises(ValueError):
+            cache.register(entry)
+
+    def test_resize_tracks_growth(self, rig):
+        machine, table, __, cache = rig
+        entry = make_page(table, cache)
+        entry.state.prepend_delta(up(b"a", b"x" * 50))
+        cache.resize(entry)
+        assert machine.dram.bytes_for("page_cache") == entry.resident_bytes
+
+    def test_touch_updates_recency_and_clock_time(self, rig):
+        machine, table, __, cache = rig
+        entry = make_page(table, cache)
+        machine.clock.advance(10.0)
+        cache.touch(entry)
+        assert entry.last_access == pytest.approx(10.0)
+        assert entry.access_count >= 1
+
+
+class TestFlush:
+    def test_first_flush_writes_full_image(self, rig):
+        __, table, store, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        cache.flush_page(entry)
+        assert len(entry.flash_chain) == 1
+        assert cache.stats.flushes_full == 1
+        assert entry.state.base_flushed
+
+    def test_second_flush_is_delta_only(self, rig):
+        __, table, store, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        cache.flush_page(entry)
+        entry.state.prepend_delta(up(b"b", b"w"))
+        cache.resize(entry)
+        cache.flush_page(entry)
+        assert len(entry.flash_chain) == 2
+        assert cache.stats.flushes_delta == 1
+        assert entry.flushed_delta_records == 1
+
+    def test_fragment_cap_forces_full_rewrite(self, rig):
+        __, table, store, cache = rig
+        cache.max_flash_fragments = 2
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        cache.flush_page(entry)
+        chain_lengths = []
+        for index in range(2):
+            entry.state.prepend_delta(up(b"k%d" % index, b"w", ts=index))
+            cache.resize(entry)
+            cache.flush_page(entry)
+            chain_lengths.append(len(entry.flash_chain))
+        # First delta flush appends a fragment; the second hits the cap and
+        # folds everything back into one full image.
+        assert chain_lengths == [2, 1]
+        assert entry.flushed_delta_records == 0
+        # The superseded images become holes/dead space once flushed.
+        store.flush()
+        assert store.dead_bytes > 0
+
+    def test_clean_page_flush_is_noop(self, rig):
+        __, table, store, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        cache.flush_page(entry)
+        appended = store.images_appended
+        cache.flush_page(entry)
+        assert store.images_appended == appended
+
+    def test_flush_without_state_rejected(self, rig):
+        __, table, __s, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        cache.flush_page(entry)
+        cache.evict(entry)
+        with pytest.raises(ValueError):
+            cache.flush_page(entry)
+
+
+class TestEvictFetch:
+    def test_evict_drops_state_and_dram(self, rig):
+        machine, table, __, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v" * 200)])
+        cache.evict(entry)
+        assert entry.state is None
+        assert machine.dram.bytes_for("page_cache") == 0
+        assert cache.stats.evictions == 1
+
+    def test_evict_flushes_dirty_state_first(self, rig):
+        __, table, store, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        cache.evict(entry)
+        assert entry.flash_chain   # persisted on the way out
+
+    def test_fetch_restores_contents(self, rig):
+        __, table, store, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        entry.state.prepend_delta(up(b"b", b"w"))
+        cache.resize(entry)
+        cache.evict(entry)
+        store.flush()
+        ios = cache.fetch(entry)
+        assert ios >= 1
+        assert entry.state.lookup(b"a").value == b"v"
+        assert entry.state.lookup(b"b").value == b"w"
+
+    def test_fetch_resident_page_is_free(self, rig):
+        __, table, __s, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        assert cache.fetch(entry) == 0
+
+    def test_fetch_unflushed_page_rejected(self, rig):
+        __, table, __s, cache = rig
+        entry = make_page(table, cache)
+        entry.state = None
+        with pytest.raises(ValueError):
+            cache.fetch(entry)
+
+    def test_blind_delta_then_fetch_merges_chain(self, rig):
+        """A blind update posted while the page was evicted must merge
+        with the flash chain on the next fetch (the Section 6.2 path)."""
+        __, table, store, cache = rig
+        entry = make_page(table, cache, [Record(b"a", b"v")])
+        entry.state.prepend_delta(up(b"b", b"w", ts=1))
+        cache.resize(entry)
+        cache.evict(entry)        # full image + delta image? one delta flush
+        store.flush()
+        # blind post to the evicted page
+        state = DataPageState(entry.page_id, base=None,
+                              deltas=[up(b"c", b"z", ts=2)])
+        state.base_flushed = True
+        entry.state = state
+        cache.register(entry)
+        cache.fetch(entry)
+        assert entry.state.lookup(b"a").value == b"v"
+        assert entry.state.lookup(b"b").value == b"w"
+        assert entry.state.lookup(b"c").value == b"z"
+
+
+class TestRecordCacheMode:
+    def test_evict_keeps_deltas(self, machine):
+        table = MappingTable()
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        cache = PageCache(machine, table, store, record_cache=True)
+        entry = table.allocate()
+        entry.state.install_base([Record(b"a", b"v" * 100)])
+        cache.register(entry)
+        cache.flush_page(entry)   # base persisted: deltas can be retained
+        entry.state.prepend_delta(up(b"b", b"w"))
+        cache.resize(entry)
+        cache.evict(entry)
+        assert entry.state is not None
+        assert not entry.state.base_present
+        assert entry.state.lookup(b"b").value == b"w"
+        assert cache.stats.record_cache_retained == 1
+
+    def test_fetch_after_record_cache_evict_reads_base_only(self, machine):
+        table = MappingTable()
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        cache = PageCache(machine, table, store, record_cache=True)
+        entry = table.allocate()
+        entry.state.install_base([Record(b"a", b"v")])
+        cache.register(entry)
+        cache.flush_page(entry)
+        entry.state.prepend_delta(up(b"b", b"w"))
+        cache.resize(entry)
+        cache.evict(entry)
+        store.flush()
+        ios = cache.fetch(entry)
+        assert ios == 1   # base image only; deltas were retained
+        assert entry.state.lookup(b"a").value == b"v"
+        assert entry.state.lookup(b"b").value == b"w"
+
+
+class TestCapacity:
+    def test_ensure_capacity_evicts_lru_first(self, machine):
+        table = MappingTable()
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        cache = PageCache(machine, table, store, capacity_bytes=1200)
+        entries = []
+        for index in range(4):
+            entry = table.allocate()
+            entry.state.install_base(
+                [Record(b"k%d" % index, b"v" * 300)]
+            )
+            cache.register(entry)
+            entries.append(entry)
+        cache.touch(entries[0])   # make page 0 most recently used
+        cache.ensure_capacity()
+        assert cache.resident_bytes <= 1200
+        assert entries[0].state is not None      # MRU survived
+        assert entries[1].state is None          # LRU went first
+
+    def test_protected_page_never_evicted(self, machine):
+        table = MappingTable()
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        cache = PageCache(machine, table, store, capacity_bytes=400)
+        protected = table.allocate()
+        protected.state.install_base([Record(b"a", b"v" * 300)])
+        cache.register(protected)
+        other = table.allocate()
+        other.state.install_base([Record(b"b", b"v" * 300)])
+        cache.register(other)
+        cache.ensure_capacity(protect={protected.page_id})
+        assert protected.state is not None
+
+    def test_unlimited_capacity_never_evicts(self, rig):
+        __, table, __s, cache = rig
+        for index in range(10):
+            entry = table.allocate()
+            entry.state.install_base([Record(b"k%d" % index, b"v" * 500)])
+            cache.register(entry)
+        assert cache.ensure_capacity() == 0
+        assert cache.resident_pages == 10
+
+
+class TestTiPolicy:
+    def test_evict_idle_pages_by_interval(self, machine):
+        table = MappingTable()
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        cache = PageCache(machine, table, store,
+                          policy=EvictionPolicy.TI_THRESHOLD,
+                          ti_seconds=45.0)
+        old = table.allocate()
+        old.state.install_base([Record(b"a", b"v")])
+        cache.register(old)
+        machine.clock.advance(100.0)
+        fresh = table.allocate()
+        fresh.state.install_base([Record(b"b", b"v")])
+        cache.register(fresh)
+        evicted = cache.evict_idle_pages()
+        assert evicted == 1
+        assert old.state is None
+        assert fresh.state is not None

@@ -1,0 +1,132 @@
+"""Key-popularity distributions: skew, determinism, bounds."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    HotspotChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+    access_interval_seconds,
+    make_chooser,
+)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("kind", [
+        "uniform", "zipfian", "scrambled", "hotspot", "latest",
+    ])
+    def test_indices_in_range(self, kind):
+        chooser = make_chooser(kind, 1000, seed=1)
+        for index in chooser.sample(2000):
+            assert 0 <= index < 1000
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_chooser("nope", 10)
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ValueError):
+            UniformChooser(0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", [
+        "uniform", "zipfian", "scrambled", "hotspot",
+    ])
+    def test_same_seed_same_stream(self, kind):
+        a = make_chooser(kind, 500, seed=7).sample(200)
+        b = make_chooser(kind, 500, seed=7).sample(200)
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = make_chooser("zipfian", 500, seed=1).sample(200)
+        b = make_chooser("zipfian", 500, seed=2).sample(200)
+        assert a != b
+
+
+class TestZipfian:
+    def test_rank_zero_is_hottest(self):
+        counts = Counter(ZipfianChooser(1000, seed=3).sample(20000))
+        hottest = counts.most_common(1)[0][0]
+        assert hottest == 0
+
+    def test_skew_concentrates_mass(self):
+        counts = Counter(ZipfianChooser(1000, theta=0.99, seed=3)
+                         .sample(20000))
+        top10 = sum(count for __, count in counts.most_common(10))
+        assert top10 > 20000 * 0.3
+
+    def test_lower_theta_less_skewed(self):
+        high = Counter(ZipfianChooser(1000, theta=0.99, seed=3)
+                       .sample(20000))
+        low = Counter(ZipfianChooser(1000, theta=0.5, seed=3)
+                      .sample(20000))
+        top_high = sum(c for __, c in high.most_common(10))
+        top_low = sum(c for __, c in low.most_common(10))
+        assert top_high > top_low
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianChooser(100, theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfianChooser(100, theta=0.0)
+
+
+class TestScrambled:
+    def test_hot_keys_spread_out(self):
+        """The hottest keys should not cluster at low indices."""
+        counts = Counter(ScrambledZipfianChooser(10_000, seed=3)
+                         .sample(30000))
+        hot = [key for key, __ in counts.most_common(20)]
+        assert max(hot) > 5000     # some hot keys land in the upper half
+        assert len(set(hot)) == 20
+
+    def test_same_skew_as_zipfian(self):
+        scrambled = Counter(ScrambledZipfianChooser(1000, seed=3)
+                            .sample(20000))
+        top10 = sum(c for __, c in scrambled.most_common(10))
+        assert top10 > 20000 * 0.25
+
+
+class TestHotspot:
+    def test_hot_set_gets_hot_fraction(self):
+        chooser = HotspotChooser(1000, hot_fraction=0.2,
+                                 hot_access_fraction=0.8, seed=5)
+        sample = chooser.sample(20000)
+        hot_hits = sum(1 for index in sample if index < 200)
+        assert 0.75 < hot_hits / len(sample) < 0.85
+
+    def test_degenerate_all_hot(self):
+        chooser = HotspotChooser(100, hot_fraction=1.0,
+                                 hot_access_fraction=0.5, seed=5)
+        assert all(0 <= i < 100 for i in chooser.sample(500))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotChooser(10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotChooser(10, hot_access_fraction=1.5)
+
+
+class TestLatest:
+    def test_newest_is_hottest(self):
+        chooser = LatestChooser(1000, seed=3)
+        counts = Counter(chooser.sample(20000))
+        assert counts.most_common(1)[0][0] == 999
+
+    def test_grow_shifts_latest(self):
+        chooser = LatestChooser(100, seed=3)
+        for __ in range(100):
+            chooser.grow()
+        assert chooser.item_count == 200
+        assert all(0 <= i < 200 for i in chooser.sample(1000))
+
+
+def test_access_interval():
+    assert access_interval_seconds(10.0) == pytest.approx(0.1)
+    assert math.isinf(access_interval_seconds(0.0))

@@ -1,0 +1,104 @@
+"""Trace record / save / load / replay."""
+
+import pytest
+
+from repro.bwtree import BwTree, BwTreeConfig
+from repro.hardware import Machine
+from repro.lsm import LsmConfig, LsmTree
+from repro.workloads import (
+    OpKind,
+    Trace,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+
+def sample_trace(count=200, **overrides) -> Trace:
+    spec = WorkloadSpec(record_count=100, read_fraction=0.5,
+                        update_fraction=0.3, insert_fraction=0.1,
+                        scan_fraction=0.1, seed=6, **overrides)
+    return Trace.record(WorkloadGenerator(spec).operations(count))
+
+
+def test_record_materializes_count():
+    spec = WorkloadSpec(record_count=50)
+    trace = Trace.record(WorkloadGenerator(spec).operations(1000),
+                         count=40)
+    assert len(trace) == 40
+
+
+def test_roundtrip_through_file(tmp_path):
+    trace = sample_trace()
+    path = trace.save(tmp_path / "workload.trace")
+    loaded = Trace.load(path)
+    assert loaded.operations == trace.operations
+
+
+def test_roundtrip_binary_keys(tmp_path):
+    operations = [
+        # Keys with tabs/newlines/NULs must survive the text format.
+        type(sample_trace(count=1).operations[0])(
+            kind=OpKind.READ, key=b"\x00\t\nweird\xff",
+        ),
+    ]
+    trace = Trace(operations)
+    loaded = Trace.load(trace.save(tmp_path / "bin.trace"))
+    assert loaded.operations[0].key == b"\x00\t\nweird\xff"
+
+
+def test_load_rejects_foreign_files(tmp_path):
+    path = tmp_path / "not.trace"
+    path.write_text("something else\n")
+    with pytest.raises(ValueError):
+        Trace.load(path)
+
+
+def test_load_rejects_bad_rows(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("repro-trace-v1\nread\tdeadbeef\n")
+    with pytest.raises(ValueError):
+        Trace.load(path)
+    path.write_text("repro-trace-v1\nfly\tdeadbeef\t-\t0\n")
+    with pytest.raises(ValueError):
+        Trace.load(path)
+
+
+def test_kind_counts_and_keys():
+    trace = sample_trace(count=300)
+    counts = trace.kind_counts()
+    assert sum(counts.values()) == 300
+    assert counts.get(OpKind.READ, 0) > 0
+    assert 0 < trace.keys_touched() <= 300
+
+
+def test_replay_identical_across_stores():
+    """The same trace drives two different stores to identical reads."""
+    trace = sample_trace(count=400)
+    outcomes = []
+    for build in (
+        lambda m: BwTree(m, BwTreeConfig(segment_bytes=1 << 16)),
+        lambda m: LsmTree(m, LsmConfig(memtable_bytes=16 << 10)),
+    ):
+        machine = Machine.paper_default(cores=1)
+        store = build(machine)
+        spec = WorkloadSpec(record_count=100, seed=6)
+        for key, value in WorkloadGenerator(spec).load_items():
+            store.upsert(key, value)
+        stats = trace.replay(store)
+        outcomes.append((stats.operations, stats.not_found))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_replay_twice_is_deterministic():
+    trace = sample_trace(count=300)
+    results = []
+    for __ in range(2):
+        machine = Machine.paper_default(cores=1)
+        store = BwTree(machine, BwTreeConfig(segment_bytes=1 << 16))
+        spec = WorkloadSpec(record_count=100, seed=6)
+        for key, value in WorkloadGenerator(spec).load_items():
+            store.upsert(key, value)
+        stats = trace.replay(store)
+        results.append((stats.reads, stats.updates, stats.not_found,
+                        machine.summary().core_us_per_op))
+    assert results[0] == results[1]
