@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Standalone entry point for the engine throughput benchmark.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench-engine`` but runnable
+directly (``python benchmarks/bench_engine.py [--smoke] ...``) without
+setting up the path by hand.  See ``repro.bench.engine_bench`` for what is
+measured and the JSON schema it writes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.engine_bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,12 @@ FAST = ("f2", "f8", "t2", "a4", "a6", "a7", "a8")
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench-engine":
+        # Throughput benchmark subcommand with its own option parser.
+        from .bench.engine_bench import main as bench_engine_main
+        return bench_engine_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -71,7 +77,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments", nargs="*", default=["fast"],
         help=("experiment ids (f1 f2 f3 f7 f8 t1-t4 a1-a8), 'fast' for "
-              "the analytic subset, 'all' for everything, or 'list'"),
+              "the analytic subset, 'all' for everything, or 'list'; "
+              "'bench-engine' runs the throughput benchmark "
+              "(see 'bench-engine --help')"),
     )
     args = parser.parse_args(argv)
 

@@ -1,0 +1,333 @@
+"""Engine throughput benchmark: per-op vs batched (group-commit) paths.
+
+``python -m repro bench-engine`` drives the assembled
+:class:`DeuteronomyEngine` with YCSB mixes through two request paths:
+
+* **per-op** — one autocommitted ``get``/``put`` per operation, the way
+  the rest of the repo's experiments drive stores;
+* **batched** — operations grouped into fixed-size batches submitted via
+  ``apply_batch``: one dispatch, one timestamp allocation, one log append
+  and one flush decision per batch (Section 6.3's group commit).
+
+Both paths run the *same* generated operation stream against freshly
+loaded engines on identical simulated machines, so the reported speedup
+isolates the batching effect.  Throughput is virtual-time ops/sec
+(``ops / max(cpu_busy/cores, ssd_busy)``); latency percentiles come from
+per-request simulated execution + device service time — for the batched
+path every operation in a batch is charged the whole batch's latency,
+which is the honest group-commit trade-off (throughput up, individual
+latency up).
+
+Results are written as JSON (default ``BENCH_engine.json`` in the
+working directory) so the numbers can be tracked in-repo over time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..bwtree.tree import BwTreeConfig
+from ..deuteronomy.engine import DeuteronomyEngine
+from ..deuteronomy.tc import TcConfig
+from ..hardware.machine import Machine
+from ..hardware.metrics import Histogram
+from ..storage.cache import EvictionPolicy
+from ..workloads.ycsb import OpKind, Operation, WorkloadGenerator, WorkloadSpec
+
+SCHEMA_VERSION = 1
+DEFAULT_OUT = "BENCH_engine.json"
+
+MIX_BUILDERS = {
+    "a": WorkloadSpec.ycsb_a,   # 50/50 read/update — the group-commit case
+    "b": WorkloadSpec.ycsb_b,   # 95/5 read-mostly
+    "c": WorkloadSpec.ycsb_c,   # 100% reads
+}
+
+
+def _fresh_engine(
+    spec: WorkloadSpec,
+    cores: int,
+    sync_commit: bool,
+    policy: EvictionPolicy = EvictionPolicy.LRU,
+    cache_capacity_bytes: Optional[int] = None,
+) -> Tuple[Machine, DeuteronomyEngine, WorkloadGenerator]:
+    """A loaded engine plus the generator that produced its load.
+
+    Generators are deterministic per spec, so two engines built from equal
+    specs hold identical data and then see identical operation streams.
+    """
+    machine = Machine.paper_default(cores=cores)
+    engine = DeuteronomyEngine(
+        machine,
+        tree_config=BwTreeConfig(
+            eviction_policy=policy,
+            cache_capacity_bytes=cache_capacity_bytes,
+        ),
+        tc_config=TcConfig(sync_commit=sync_commit),
+    )
+    generator = WorkloadGenerator(spec)
+    engine.dc.bulk_load(generator.load_items())
+    machine.reset_accounting()
+    return machine, engine, generator
+
+
+def _path_stats(
+    machine: Machine,
+    engine: DeuteronomyEngine,
+    latencies: Histogram,
+    n_ops: int,
+    wall_seconds: float,
+) -> Dict[str, float]:
+    summary = machine.summary()
+    elapsed = max(summary.cpu_elapsed_seconds, summary.ssd_busy_seconds)
+    return {
+        "operations": n_ops,
+        "ops_per_sec": (n_ops / elapsed) if elapsed else 0.0,
+        "core_us_per_op": (summary.cpu_busy_seconds * 1e6 / n_ops)
+        if n_ops else 0.0,
+        "p50_latency_us": latencies.percentile(50),
+        "p99_latency_us": latencies.percentile(99),
+        "cache_hit_rate": engine.dc.cache.hit_rate(),
+        "tc_hit_rate": engine.tc.tc_hit_rate(),
+        "log_flushes": engine.tc.log.flushes,
+        "log_batch_appends": engine.tc.log.batch_appends,
+        "ssd_ios": summary.ssd_ios,
+        "io_bound": summary.io_bound,
+        "wall_seconds": wall_seconds,
+    }
+
+
+def _run_per_op(
+    machine: Machine,
+    engine: DeuteronomyEngine,
+    ops: List[Operation],
+) -> Dict[str, float]:
+    latencies = Histogram("per_op_latency_us")
+    started = time.time()
+    for op in ops:
+        cpu0, svc0 = machine.latency_window()
+        if op.kind is OpKind.READ:
+            engine.get(op.key)
+        else:
+            engine.put(op.key, op.value)
+        cpu1, svc1 = machine.latency_window()
+        latencies.observe((cpu1 - cpu0) + (svc1 - svc0))
+    return _path_stats(machine, engine, latencies, len(ops),
+                       time.time() - started)
+
+
+def _run_batched(
+    machine: Machine,
+    engine: DeuteronomyEngine,
+    ops: List[Operation],
+    batch_size: int,
+) -> Dict[str, float]:
+    latencies = Histogram("batched_latency_us")
+    started = time.time()
+    for start in range(0, len(ops), batch_size):
+        chunk = ops[start:start + batch_size]
+        batch = [
+            ("get", op.key, None) if op.kind is OpKind.READ
+            else ("put", op.key, op.value)
+            for op in chunk
+        ]
+        cpu0, svc0 = machine.latency_window()
+        engine.apply_batch(batch)
+        cpu1, svc1 = machine.latency_window()
+        # Group commit holds every request until the batch commits: each
+        # op in the batch observes the whole batch's latency.
+        batch_latency = (cpu1 - cpu0) + (svc1 - svc0)
+        for __ in chunk:
+            latencies.observe(batch_latency)
+    return _path_stats(machine, engine, latencies, len(ops),
+                       time.time() - started)
+
+
+def _run_mix(
+    mix: str,
+    record_count: int,
+    op_count: int,
+    batch_size: int,
+    cores: int,
+    value_bytes: int,
+    sync_commit: bool,
+) -> Dict[str, object]:
+    spec_kwargs = dict(record_count=record_count, value_bytes=value_bytes)
+    builder = MIX_BUILDERS[mix]
+
+    machine, engine, generator = _fresh_engine(
+        builder(**spec_kwargs), cores, sync_commit)
+    ops = list(generator.operations(op_count))
+    per_op = _run_per_op(machine, engine, ops)
+
+    machine, engine, generator = _fresh_engine(
+        builder(**spec_kwargs), cores, sync_commit)
+    ops = list(generator.operations(op_count))
+    batched = _run_batched(machine, engine, ops, batch_size)
+
+    speedup = (batched["ops_per_sec"] / per_op["ops_per_sec"]
+               if per_op["ops_per_sec"] else 0.0)
+    return {"per_op": per_op, "batched": batched, "speedup": speedup}
+
+
+def _run_eviction_comparison(
+    record_count: int,
+    op_count: int,
+    cores: int,
+    value_bytes: int,
+) -> Dict[str, object]:
+    """LRU vs CLOCK page-cache hit rates on the same capped-cache trace."""
+    spec_kwargs = dict(record_count=record_count, value_bytes=value_bytes)
+    # Size the cache well under the loaded leaf footprint so eviction
+    # actually runs (roughly a quarter of the loaded bytes).
+    capacity = max(1 << 14, (record_count * value_bytes) // 4)
+    rates = {}
+    for policy in (EvictionPolicy.LRU, EvictionPolicy.CLOCK):
+        machine, engine, generator = _fresh_engine(
+            WorkloadSpec.ycsb_b(**spec_kwargs), cores, sync_commit=False,
+            policy=policy, cache_capacity_bytes=capacity)
+        for op in generator.operations(op_count):
+            if op.kind is OpKind.READ:
+                engine.get(op.key)
+            else:
+                engine.put(op.key, op.value)
+        rates[policy.value] = engine.dc.cache.hit_rate()
+    return {
+        "workload": "ycsb-b",
+        "cache_capacity_bytes": capacity,
+        "lru_hit_rate": rates["lru"],
+        "clock_hit_rate": rates["clock"],
+    }
+
+
+def run_bench(
+    mixes: Iterable[str] = ("a", "b", "c"),
+    record_count: int = 4000,
+    op_count: int = 10_000,
+    batch_size: int = 64,
+    cores: int = 4,
+    value_bytes: int = 100,
+    sync_commit: bool = True,
+    eviction_comparison: bool = True,
+) -> Dict[str, object]:
+    """Run the benchmark and return the report dict (see module doc)."""
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "engine-throughput",
+        "config": {
+            "record_count": record_count,
+            "op_count": op_count,
+            "batch_size": batch_size,
+            "cores": cores,
+            "value_bytes": value_bytes,
+            "sync_commit": sync_commit,
+        },
+        "mixes": {},
+    }
+    for mix in mixes:
+        if mix not in MIX_BUILDERS:
+            raise ValueError(f"unknown mix {mix!r}; choose from a, b, c")
+        report["mixes"][f"ycsb-{mix}"] = _run_mix(
+            mix, record_count, op_count, batch_size, cores, value_bytes,
+            sync_commit)
+    if eviction_comparison:
+        report["eviction"] = _run_eviction_comparison(
+            record_count, op_count, cores, value_bytes)
+    return report
+
+
+def render(report: Dict[str, object]) -> str:
+    """Human-readable summary of a report dict."""
+    lines = []
+    config = report["config"]
+    lines.append(
+        f"engine benchmark: {config['op_count']} ops over "
+        f"{config['record_count']} records, batch={config['batch_size']}, "
+        f"cores={config['cores']}, sync_commit={config['sync_commit']}"
+    )
+    header = (f"{'mix':8s} {'path':8s} {'ops/sec':>12s} {'core us/op':>11s} "
+              f"{'p50 us':>8s} {'p99 us':>8s} {'cache hit':>10s} "
+              f"{'flushes':>8s}")
+    lines.append(header)
+    for mix, result in report["mixes"].items():
+        for path in ("per_op", "batched"):
+            stats = result[path]
+            lines.append(
+                f"{mix:8s} {path:8s} {stats['ops_per_sec']:12,.0f} "
+                f"{stats['core_us_per_op']:11.3f} "
+                f"{stats['p50_latency_us']:8.2f} "
+                f"{stats['p99_latency_us']:8.2f} "
+                f"{stats['cache_hit_rate']:10.4f} "
+                f"{stats['log_flushes']:8d}"
+            )
+        lines.append(f"{mix:8s} speedup  {result['speedup']:.2f}x")
+    eviction = report.get("eviction")
+    if eviction:
+        lines.append(
+            f"eviction ({eviction['workload']}, "
+            f"{eviction['cache_capacity_bytes']}B cache): "
+            f"LRU hit {eviction['lru_hit_rate']:.4f} vs "
+            f"CLOCK hit {eviction['clock_hit_rate']:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench-engine",
+        description="Per-op vs batched engine throughput benchmark.",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fast run (CI): ycsb-a only, ~2k ops")
+    parser.add_argument("--mixes", default="a,b,c",
+                        help="comma-separated YCSB mixes (default a,b,c)")
+    parser.add_argument("--records", type=int, default=4000)
+    parser.add_argument("--ops", type=int, default=10_000)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT}); "
+                             "'-' skips writing")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        mixes = ["a"]
+        record_count, op_count = 500, 2000
+        eviction_comparison = False
+    else:
+        mixes = [m.strip() for m in args.mixes.split(",") if m.strip()]
+        record_count, op_count = args.records, args.ops
+        eviction_comparison = True
+
+    report = run_bench(
+        mixes=mixes,
+        record_count=record_count,
+        op_count=op_count,
+        batch_size=args.batch_size,
+        cores=args.cores,
+        eviction_comparison=eviction_comparison,
+    )
+    print(render(report))
+    if args.out != "-":
+        out_path = Path(args.out)
+        out_path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"\nwrote {out_path}")
+
+    # The batched path exists to be faster on the update-heavy mix; fail
+    # loudly if a change regresses it below the tracked floor.
+    ycsb_a = report["mixes"].get("ycsb-a")
+    if ycsb_a is not None and ycsb_a["speedup"] < 1.3:
+        print(f"FAIL: ycsb-a batched speedup {ycsb_a['speedup']:.2f}x "
+              "< 1.3x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -74,7 +74,7 @@ class BwTreeConfig:
             raise ValueError("inner_fanout must be >= 4")
 
 
-@dataclass
+@dataclass(slots=True)
 class OpResult:
     """Outcome of one tree operation with its cost-relevant facts."""
 
@@ -184,15 +184,16 @@ class BwTree:
 
     def _descend(self, key: bytes) -> PageEntry:
         """Walk from the root to the covering leaf, charging CPU costs."""
-        cpu = self.machine.cpu
+        charge = self.machine.cpu.charge
+        inners = self._inners
         node_id = self.root_id
         while node_id < 0:
-            node = self._inners[node_id]
-            cpu.charge("pointer_chase", category="bwtree")
-            cpu.charge("page_binary_search_step", node.search_steps(),
-                       category="bwtree")
+            node = inners[node_id]
+            charge("pointer_chase", category="bwtree")
+            charge("page_binary_search_step", node.search_steps(),
+                   category="bwtree")
             node_id = node.child_for(key)
-        cpu.charge("mapping_table_lookup", category="bwtree")
+        charge("mapping_table_lookup", category="bwtree")
         return self.mapping_table.get(node_id)
 
     def _begin_op(self) -> Tuple[float, float]:
@@ -289,6 +290,47 @@ class BwTree:
             result,
         )
         self._post_op(entry, result, window)
+        return result
+
+    def apply_blind_batch(
+        self, ops: "List[Tuple[bytes, Optional[bytes]]]"
+    ) -> OpResult:
+        """Post a group of blind upserts/deletes under one dispatch/epoch.
+
+        ``ops`` items are ``(key, value)``; ``value=None`` posts a
+        tombstone.  Every record still pays its own descent, CAS install
+        and copy — batching amortizes only the request decode and the
+        epoch enter/exit, which is exactly what a multi-op network request
+        saves a real server.  Returns an aggregate :class:`OpResult`
+        (``ios`` summed, ``latency_us`` spanning the whole batch).
+        """
+        window = self.machine.latency_window()
+        cpu = self.machine.cpu
+        cpu.charge("op_dispatch", category="bwtree")
+        cpu.charge("epoch_protect", category="bwtree")
+        result = OpResult(found=True)
+        counters = self.counters
+        for key, value in ops:
+            self.machine.begin_operation()
+            ios_before = result.ios
+            if value is None:
+                self._validate_key(key)
+                delta = RecordDelta(DeltaKind.DELETE, key, None,
+                                    self._next_timestamp())
+            else:
+                self._validate_kv(key, value)
+                delta = RecordDelta(DeltaKind.UPSERT, key, value,
+                                    self._next_timestamp())
+            entry = self._descend(key)
+            self._post_blind_delta(entry, delta, result)
+            counters.add("bwtree.ops")
+            if result.ios > ios_before:
+                counters.add("bwtree.ss_ops")
+            else:
+                counters.add("bwtree.mm_ops")
+        result.latency_us = self.machine.observe_latency(window)
+        counters.add("bwtree.ios", result.ios)
+        counters.add("bwtree.blind_batches")
         return result
 
     def insert(self, key: bytes, value: bytes) -> bool:

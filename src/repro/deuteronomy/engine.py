@@ -8,11 +8,17 @@ context-manager transaction API.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..bwtree.tree import BwTree, BwTreeConfig
 from ..hardware.machine import Machine
-from .tc import TcConfig, Transaction, TransactionComponent
+from .tc import (
+    TcConfig,
+    Transaction,
+    TransactionAborted,
+    TransactionComponent,
+    TxnStatus,
+)
 
 
 class DeuteronomyEngine:
@@ -64,11 +70,11 @@ class DeuteronomyEngine:
         try:
             yield txn
         except BaseException:
-            if txn.status.value == "active":
+            if txn.status is TxnStatus.ACTIVE:
                 self.tc.abort(txn)
             raise
         else:
-            if txn.status.value == "active":
+            if txn.status is TxnStatus.ACTIVE:
                 self.tc.commit(txn)
 
     # --- autocommit conveniences -------------------------------------
@@ -76,7 +82,12 @@ class DeuteronomyEngine:
     def get(self, key: bytes) -> Optional[bytes]:
         """Autocommitted snapshot read."""
         txn = self.tc.begin()
-        value = self.tc.read(txn, key)
+        try:
+            value = self.tc.read(txn, key)
+        except BaseException:
+            # A failed read must not leave a dangling active transaction.
+            self.tc.abort(txn)
+            raise
         self.tc.commit(txn)
         return value
 
@@ -87,6 +98,58 @@ class DeuteronomyEngine:
     def delete(self, key: bytes) -> None:
         """Autocommitted single-key delete."""
         self.tc.run_update(key, None)
+
+    # --- batched (multi-op) conveniences ------------------------------
+
+    def multi_put(self, items: Iterable[Tuple[bytes, bytes]]) -> List[int]:
+        """Group-committed autocommit updates: one log append and one
+        flush decision for the whole batch.  Items are applied in order
+        (a later write to the same key wins, exactly like sequential
+        ``put`` calls).  Returns one commit timestamp per item."""
+        timestamps = self.tc.run_update_batch(items)
+        assert all(ts is not None for ts in timestamps)
+        return timestamps  # type: ignore[return-value]
+
+    def multi_delete(self, keys: Iterable[bytes]) -> List[int]:
+        """Group-committed autocommit deletes (see :meth:`multi_put`)."""
+        timestamps = self.tc.run_update_batch(
+            (key, None) for key in keys
+        )
+        assert all(ts is not None for ts in timestamps)
+        return timestamps  # type: ignore[return-value]
+
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Batched autocommitted snapshot reads: one transaction and one
+        request dispatch amortized across the whole batch."""
+        txn = self.tc.begin()
+        try:
+            values = self.tc.read_batch(txn, keys)
+        except BaseException:
+            self.tc.abort(txn)
+            raise
+        self.tc.commit(txn)
+        return values
+
+    def apply_batch(
+        self, ops: Sequence[Tuple[str, bytes, Optional[bytes]]]
+    ) -> List[Optional[bytes]]:
+        """Run a mixed batch of ops as one transaction via group commit.
+
+        ``ops`` items are ``(kind, key, value)`` with kind ``"get"``,
+        ``"put"`` or ``"delete"`` (value ignored for gets/deletes).  Reads
+        see the batch's earlier writes.  Returns one entry per op: the
+        value for gets, ``None`` for writes.
+        """
+        txn = self.tc.begin()
+        try:
+            results = self.tc.execute_batch(txn, ops)
+        except BaseException:
+            self.tc.abort(txn)
+            raise
+        committed = self.tc.commit_batch([txn])[0]
+        if committed is None:  # pragma: no cover - single-txn batch
+            raise TransactionAborted(f"txn {txn.txn_id}: batch conflict")
+        return results
 
     def checkpoint(self) -> None:
         """Flush the log and every dirty data page."""

@@ -18,7 +18,7 @@ VERSION_ENTRY_OVERHEAD_BYTES = 48   # hash chain + version metadata
 DRAM_TAG = "tc_version_store"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Version:
     """One committed version of a key."""
 

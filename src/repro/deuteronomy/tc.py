@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bwtree.tree import BwTree
 from ..hardware.machine import Machine
@@ -33,7 +33,7 @@ class TxnStatus(enum.Enum):
     ABORTED = "aborted"
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """A client transaction: reads at ``read_timestamp``, buffers writes."""
 
@@ -144,6 +144,84 @@ class TransactionComponent:
         self._maybe_gc_versions()
         return commit_ts
 
+    def commit_batch(
+        self, txns: Sequence[Transaction], sequential: bool = False
+    ) -> List[Optional[int]]:
+        """Group commit: one log-buffer append and one flush decision.
+
+        Semantically each transaction commits (or aborts) on its own —
+        first-committer-wins applies both against already-committed
+        versions and *within* the batch — but the execution cost of
+        commit is amortized: one timestamp-range allocation, one batched
+        append of every redo record, one batched round of blind posts to
+        the DC, and (under ``sync_commit``) a single log flush for the
+        whole group instead of one per transaction.
+
+        With ``sequential=True`` the group is an ordered pipeline of
+        transactions (each logically begins after its predecessor commits,
+        the autocommit-batch case): intra-batch writes to the same key are
+        last-wins instead of a conflict, matching what the same updates
+        committed one at a time would produce.
+
+        Returns one entry per transaction, in order: its commit timestamp,
+        or ``None`` if it lost a conflict check and was aborted.
+        """
+        for txn in txns:
+            self._require_active(txn)
+        # One timestamp-range allocation covers the whole group.
+        self.machine.cpu.charge("timestamp_alloc", category="tc")
+        results: List[Optional[int]] = []
+        records: List[LogRecord] = []
+        committed: List[Tuple[Transaction, int, int, int]] = []
+        batch_written: set = set()
+        for txn in txns:
+            conflict = False
+            for key in txn.write_set:
+                if key in batch_written:
+                    if not sequential:
+                        conflict = True
+                        break
+                    continue
+                newest = self.versions.newest_timestamp(key)
+                if newest is not None and newest > txn.read_timestamp:
+                    conflict = True
+                    break
+            if conflict:
+                self.abort(txn)
+                results.append(None)
+                continue
+            commit_ts = self._tick()
+            start = len(records)
+            for key, value in txn.write_set.items():
+                records.append(LogRecord(key, value, commit_ts, txn.txn_id))
+                batch_written.add(key)
+            committed.append((txn, start, len(records), commit_ts))
+            results.append(commit_ts)
+        buffer_ids = self.log.append_batch(records)
+        dc_ops: List[Tuple[bytes, Optional[bytes]]] = []
+        for txn, start, end, commit_ts in committed:
+            for index in range(start, end):
+                record = records[index]
+                self.versions.add(
+                    record.key,
+                    Version(commit_ts, record.value, buffer_ids[index]),
+                )
+                self.read_cache.invalidate(record.key)
+                dc_ops.append((record.key, record.value))
+                self.counters.add("tc.writes_applied")
+            txn.status = TxnStatus.COMMITTED
+            del self._active[txn.txn_id]
+            self.counters.add("tc.commits")
+        if dc_ops:
+            # Blind posts, exactly as in :meth:`commit`, but the DC enters
+            # its epoch and dispatches once for the whole group.
+            self.dc.apply_blind_batch(dc_ops)
+        if self.config.sync_commit and records:
+            self.log.flush()
+        self.counters.add("tc.group_commits")
+        self._maybe_gc_versions()
+        return results
+
     def abort(self, txn: Transaction) -> None:
         """Abort: buffered writes are simply discarded."""
         self._require_active(txn)
@@ -164,8 +242,22 @@ class TransactionComponent:
     def read(self, txn: Transaction, key: bytes) -> Optional[bytes]:
         """Transactional read at the transaction's snapshot."""
         self._require_active(txn)
-        self.machine.begin_operation()
         self.machine.cpu.charge("op_dispatch", category="tc")
+        return self._read_one(txn, key)
+
+    def read_batch(self, txn: Transaction,
+                   keys: Iterable[bytes]) -> List[Optional[bytes]]:
+        """Batched snapshot reads: one request dispatch for the group.
+
+        Each key still pays its own cache probes / DC descent — batching
+        amortizes only the per-request overhead, not the real lookups.
+        """
+        self._require_active(txn)
+        self.machine.cpu.charge("op_dispatch", category="tc")
+        return [self._read_one(txn, key) for key in keys]
+
+    def _read_one(self, txn: Transaction, key: bytes) -> Optional[bytes]:
+        self.machine.begin_operation()
         txn.read_keys.append(key)
         self.counters.add("tc.reads")
 
@@ -206,13 +298,54 @@ class TransactionComponent:
               value: Optional[bytes]) -> None:
         """Buffer an update (``None`` deletes) until commit."""
         self._require_active(txn)
-        self.machine.begin_operation()
         self.machine.cpu.charge("op_dispatch", category="tc")
+        self._buffer_write(txn, key, value)
+
+    def write_batch(self, txn: Transaction,
+                    items: Iterable[Tuple[bytes, Optional[bytes]]]) -> None:
+        """Buffer a group of updates under one request dispatch."""
+        self._require_active(txn)
+        self.machine.cpu.charge("op_dispatch", category="tc")
+        for key, value in items:
+            self._buffer_write(txn, key, value)
+
+    def _buffer_write(self, txn: Transaction, key: bytes,
+                      value: Optional[bytes]) -> None:
+        self.machine.begin_operation()
         value_len = len(value) if value is not None else 0
         self.machine.cpu.charge("copy_per_byte", len(key) + value_len,
                                 category="tc")
         txn.write_set[key] = value
         self.counters.add("tc.writes")
+
+    def execute_batch(
+        self, txn: Transaction,
+        ops: Iterable[Tuple[str, bytes, Optional[bytes]]],
+    ) -> List[Optional[bytes]]:
+        """Run a mixed get/put/delete op list under one dispatch charge.
+
+        ``ops`` items are ``(kind, key, value)`` with kind one of
+        ``"get"``, ``"put"``, ``"delete"`` (value ignored for get/delete).
+        Returns one entry per op: the read value for gets (reads see the
+        batch's earlier writes), ``None`` for writes.
+        """
+        self._require_active(txn)
+        self.machine.cpu.charge("op_dispatch", category="tc")
+        results: List[Optional[bytes]] = []
+        for kind, key, value in ops:
+            if kind == "get":
+                results.append(self._read_one(txn, key))
+            elif kind == "put":
+                if value is None:
+                    raise ValueError("put requires a value")
+                self._buffer_write(txn, key, value)
+                results.append(None)
+            elif kind == "delete":
+                self._buffer_write(txn, key, None)
+                results.append(None)
+            else:
+                raise ValueError(f"unknown batch op kind {kind!r}")
+        return results
 
     # ------------------------------------------------------------------
     # one-shot helpers
@@ -230,6 +363,25 @@ class TransactionComponent:
         txn = self.begin()
         self.write(txn, key, value)
         return self.commit(txn)
+
+    def run_update_batch(
+        self, items: Iterable[Tuple[bytes, Optional[bytes]]]
+    ) -> List[Optional[int]]:
+        """Group-commit a batch of autocommit single-update transactions.
+
+        Each item is still its own transaction with its own commit
+        timestamp — a crash recovers to a prefix of the batch — but the
+        request dispatch, the log append, the DC posts and the flush
+        decision are shared across the group (Deuteronomy 2.0's batched
+        log buffers).  Returns one commit timestamp per item.
+        """
+        self.machine.cpu.charge("op_dispatch", category="tc")
+        txns = []
+        for key, value in items:
+            txn = self.begin()
+            self._buffer_write(txn, key, value)
+            txns.append(txn)
+        return self.commit_batch(txns, sequential=True)
 
     # ------------------------------------------------------------------
     # recovery

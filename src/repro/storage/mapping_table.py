@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 from .pages import DataPageState
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlashAddr:
     """Location of one persisted page image inside the log store."""
 
@@ -27,7 +27,7 @@ class FlashAddr:
             raise ValueError(f"flash image must have positive size: {self}")
 
 
-@dataclass
+@dataclass(slots=True)
 class PageEntry:
     """Mapping-table entry for one logical page.
 

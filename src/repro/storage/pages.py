@@ -22,7 +22,7 @@ DELTA_OVERHEAD_BYTES = 24    # delta header: kind, lengths, timestamp, link
 PAGE_HEADER_BYTES = 32       # page id, LSN, record count, side link
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
     """One key/value record with an ordering timestamp."""
 
@@ -42,7 +42,7 @@ class DeltaKind(enum.Enum):
     DELETE = "delete"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecordDelta:
     """A single-record update prepended to a page's delta chain.
 
@@ -68,7 +68,7 @@ class RecordDelta:
         return DELTA_OVERHEAD_BYTES + len(self.key) + value_len
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupResult:
     """Outcome of a page-local key search, with cost-relevant counts."""
 
@@ -310,7 +310,7 @@ def delta_image_size_bytes(deltas: List[RecordDelta]) -> int:
     return PAGE_HEADER_BYTES + sum(d.size_bytes for d in deltas)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageImage:
     """What actually lands on flash for one flush of one page.
 

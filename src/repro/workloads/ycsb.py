@@ -24,7 +24,7 @@ class OpKind(enum.Enum):
     READ_MODIFY_WRITE = "rmw"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """One generated operation."""
 

@@ -1,0 +1,66 @@
+"""The engine throughput benchmark: report shape and the batching win."""
+
+import json
+
+from repro.__main__ import main as cli_main
+from repro.bench.engine_bench import SCHEMA_VERSION, render, run_bench
+
+PATH_KEYS = {
+    "operations", "ops_per_sec", "core_us_per_op", "p50_latency_us",
+    "p99_latency_us", "cache_hit_rate", "tc_hit_rate", "log_flushes",
+    "log_batch_appends", "ssd_ios", "io_bound", "wall_seconds",
+}
+
+
+class TestRunBench:
+    def test_report_shape_and_speedup(self):
+        report = run_bench(mixes=["a"], record_count=300, op_count=600,
+                           batch_size=32, eviction_comparison=False)
+        assert report["schema_version"] == SCHEMA_VERSION
+        mix = report["mixes"]["ycsb-a"]
+        assert PATH_KEYS <= set(mix["per_op"])
+        assert PATH_KEYS <= set(mix["batched"])
+        assert mix["per_op"]["operations"] == 600
+        assert mix["batched"]["operations"] == 600
+        # The point of the batched path: it must beat per-op on the
+        # update-heavy mix by a clear margin.
+        assert mix["speedup"] >= 1.3
+        # Group commit trades per-request latency for throughput.
+        assert (mix["batched"]["p50_latency_us"]
+                >= mix["per_op"]["p50_latency_us"])
+        # One flush decision per batch, not per commit.
+        assert mix["batched"]["log_flushes"] < mix["per_op"]["log_flushes"]
+
+    def test_eviction_comparison_parity(self):
+        report = run_bench(mixes=[], record_count=800, op_count=1500,
+                           eviction_comparison=True)
+        eviction = report["eviction"]
+        assert abs(eviction["clock_hit_rate"]
+                   - eviction["lru_hit_rate"]) <= 0.02
+
+    def test_render_is_textual(self):
+        report = run_bench(mixes=["c"], record_count=200, op_count=300,
+                           eviction_comparison=False)
+        text = render(report)
+        assert "ycsb-c" in text
+        assert "speedup" in text
+
+    def test_unknown_mix_rejected(self):
+        try:
+            run_bench(mixes=["z"], record_count=100, op_count=100)
+        except ValueError as exc:
+            assert "unknown mix" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestCli:
+    def test_bench_engine_subcommand_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = cli_main(["bench-engine", "--smoke", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "engine-throughput"
+        assert "ycsb-a" in report["mixes"]
+        captured = capsys.readouterr()
+        assert "speedup" in captured.out

@@ -1,0 +1,147 @@
+"""Group commit and the batched (multi-op) engine API."""
+
+import pytest
+
+from repro.bwtree import BwTreeConfig
+from repro.deuteronomy import DeuteronomyEngine, TcConfig
+from repro.hardware import Machine
+
+
+def make_engine(sync: bool = False, cores: int = 1) -> DeuteronomyEngine:
+    machine = Machine.paper_default(cores=cores)
+    return DeuteronomyEngine(
+        machine,
+        BwTreeConfig(segment_bytes=1 << 16),
+        TcConfig(sync_commit=sync),
+    )
+
+
+class TestMultiOpApi:
+    def test_multi_put_then_gets(self):
+        engine = make_engine()
+        items = [(b"k%02d" % i, b"v%d" % i) for i in range(20)]
+        timestamps = engine.multi_put(items)
+        assert len(timestamps) == 20
+        assert timestamps == sorted(timestamps)
+        for key, value in items:
+            assert engine.get(key) == value
+
+    def test_multi_put_same_key_last_wins(self):
+        engine = make_engine()
+        engine.multi_put([(b"k", b"first"), (b"k", b"second"),
+                          (b"k", b"third")])
+        assert engine.get(b"k") == b"third"
+
+    def test_multi_get_matches_gets(self):
+        engine = make_engine()
+        engine.multi_put([(b"a", b"1"), (b"b", b"2")])
+        assert engine.multi_get([b"a", b"missing", b"b"]) == [
+            b"1", None, b"2"]
+
+    def test_multi_delete(self):
+        engine = make_engine()
+        engine.multi_put([(b"a", b"1"), (b"b", b"2")])
+        engine.multi_delete([b"a", b"b"])
+        assert engine.multi_get([b"a", b"b"]) == [None, None]
+
+    def test_apply_batch_reads_see_earlier_batch_writes(self):
+        engine = make_engine()
+        engine.put(b"old", b"0")
+        results = engine.apply_batch([
+            ("get", b"old", None),
+            ("put", b"new", b"1"),
+            ("get", b"new", None),
+            ("delete", b"old", None),
+            ("get", b"old", None),
+        ])
+        assert results == [b"0", None, b"1", None, None]
+        assert engine.get(b"new") == b"1"
+        assert engine.get(b"old") is None
+
+    def test_apply_batch_rejects_unknown_kind(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            engine.apply_batch([("scan", b"k", None)])
+        assert not engine.tc._active      # the failed txn was aborted
+
+    def test_batched_state_matches_per_op_state(self):
+        items = [(b"k%02d" % (i % 10), b"v%d" % i) for i in range(40)]
+        per_op, batched = make_engine(), make_engine()
+        for key, value in items:
+            per_op.put(key, value)
+        for start in range(0, len(items), 8):
+            batched.multi_put(items[start:start + 8])
+        for index in range(10):
+            key = b"k%02d" % index
+            assert per_op.get(key) == batched.get(key)
+
+
+class TestGroupCommitSemantics:
+    def test_first_committer_wins_within_batch(self):
+        engine = make_engine()
+        tc = engine.tc
+        first, second = tc.begin(), tc.begin()
+        tc.write(first, b"k", b"from-first")
+        tc.write(second, b"k", b"from-second")
+        results = tc.commit_batch([first, second])
+        assert results[0] is not None and results[1] is None
+        assert engine.get(b"k") == b"from-first"
+
+    def test_conflict_against_committed_version(self):
+        engine = make_engine()
+        tc = engine.tc
+        stale = tc.begin()
+        tc.write(stale, b"k", b"stale")
+        engine.put(b"k", b"newer")          # commits after stale began
+        assert tc.commit_batch([stale]) == [None]
+        assert engine.get(b"k") == b"newer"
+
+    def test_disjoint_batch_all_commit(self):
+        engine = make_engine()
+        tc = engine.tc
+        txns = []
+        for index in range(5):
+            txn = tc.begin()
+            tc.write(txn, b"k%d" % index, b"v")
+            txns.append(txn)
+        results = tc.commit_batch(txns)
+        assert all(ts is not None for ts in results)
+        assert tc.counters.get("tc.group_commits") == 1
+
+    def test_sync_commit_flushes_once_per_batch(self):
+        per_op, batched = make_engine(sync=True), make_engine(sync=True)
+        items = [(b"k%02d" % i, b"v") for i in range(32)]
+        for key, value in items:
+            per_op.put(key, value)
+        batched.multi_put(items)
+        assert per_op.tc.log.flushes == 32
+        assert batched.tc.log.flushes == 1
+        assert batched.tc.log.appended_records == 32
+
+    def test_batch_appends_counted(self):
+        engine = make_engine()
+        engine.multi_put([(b"a", b"1"), (b"b", b"2")])
+        engine.multi_put([(b"c", b"3")])
+        assert engine.tc.log.batch_appends == 2
+
+    def test_batched_path_spends_fewer_core_us(self):
+        items = [(b"k%02d" % i, b"v" * 20) for i in range(64)]
+        costs = {}
+        for mode in ("per_op", "batched"):
+            engine = make_engine()
+            engine.machine.reset_accounting()
+            if mode == "per_op":
+                for key, value in items:
+                    engine.put(key, value)
+            else:
+                engine.multi_put(items)
+            costs[mode] = engine.machine.cpu.busy_us
+        assert costs["batched"] < costs["per_op"]
+
+    def test_recovered_batch_equals_logged_records(self):
+        engine = make_engine(sync=True)
+        engine.checkpoint()
+        engine.multi_put([(b"k%d" % i, b"v%d" % i) for i in range(8)])
+        recovered = DeuteronomyEngine.recover(engine)
+        for index in range(8):
+            assert recovered.get(b"k%d" % index) == b"v%d" % index

@@ -277,3 +277,73 @@ class TestSyncCommit:
         engine.tc.read(txn, b"k")
         engine.tc.commit(txn)
         assert engine.tc.log.flushes == flushes_before
+
+
+class TestGroupCommitRecovery:
+    """Crash behavior of the batched (group-commit) update path."""
+
+    def make_engine(self, sync: bool = False) -> DeuteronomyEngine:
+        machine = Machine.paper_default(cores=1)
+        return DeuteronomyEngine(
+            machine,
+            BwTreeConfig(segment_bytes=1 << 14),
+            TcConfig(log_buffer_bytes=1 << 12,
+                     log_retain_budget_bytes=1 << 14,
+                     read_cache_bytes=1 << 13,
+                     sync_commit=sync),
+        )
+
+    def test_flushed_batch_survives_unflushed_batch_lost(self):
+        engine = self.make_engine(sync=False)
+        engine.checkpoint()
+        engine.multi_put([(b"early%03d" % i, b"E%d" % i) for i in range(40)])
+        engine.tc.log.flush()
+        engine.multi_put([(b"late%03d" % i, b"L%d" % i) for i in range(40)])
+        recovered = DeuteronomyEngine.recover(engine)
+        for index in range(40):
+            assert recovered.get(b"early%03d" % index) == b"E%d" % index
+            assert recovered.get(b"late%03d" % index) is None
+
+    def test_sync_group_commit_durable_without_checkpoint(self):
+        engine = self.make_engine(sync=True)
+        engine.put(b"base", b"0")
+        engine.checkpoint()
+        engine.multi_put([(b"key%03d" % i, b"v%d" % i) for i in range(30)])
+        recovered = DeuteronomyEngine.recover(engine)
+        for index in range(30):
+            assert recovered.get(b"key%03d" % index) == b"v%d" % index
+
+    def test_crash_mid_batch_recovers_a_prefix(self):
+        # Values big enough that the 4KB log buffer fills (and flushes)
+        # several times inside one large batch; a crash before the final
+        # flush must leave exactly a prefix of the batch durable — never
+        # a record without its predecessors.
+        engine = self.make_engine(sync=False)
+        engine.checkpoint()
+        keys = [b"key%03d" % i for i in range(80)]
+        engine.multi_put([(key, b"x" * 100) for key in keys])
+        assert engine.tc.log.flushes > 0      # buffer filled mid-batch
+        recovered = DeuteronomyEngine.recover(engine)
+        survived = [recovered.get(key) is not None for key in keys]
+        assert any(survived) and not all(survived)
+        boundary = survived.index(False)
+        assert all(survived[:boundary])
+        assert not any(survived[boundary:])
+
+    def test_batched_and_per_op_recover_to_the_same_state(self):
+        items = [(b"key%03d" % (i % 30), b"v%d" % i) for i in range(90)]
+        recovered = {}
+        for mode in ("per_op", "batched"):
+            engine = self.make_engine(sync=False)
+            if mode == "per_op":
+                for key, value in items:
+                    engine.put(key, value)
+            else:
+                for start in range(0, len(items), 16):
+                    engine.multi_put(items[start:start + 16])
+            engine.checkpoint()
+            recovered[mode] = DeuteronomyEngine.recover(engine)
+        for index in range(30):
+            key = b"key%03d" % index
+            assert (recovered["per_op"].get(key)
+                    == recovered["batched"].get(key))
