@@ -78,8 +78,10 @@ def main(argv=None) -> int:
         "experiments", nargs="*", default=["fast"],
         help=("experiment ids (f1 f2 f3 f7 f8 t1-t4 a1-a8), 'fast' for "
               "the analytic subset, 'all' for everything, or 'list'; "
-              "'bench-engine' runs the throughput benchmark "
-              "(see 'bench-engine --help')"),
+              "'bench-engine' runs the throughput benchmark, including "
+              "the sharded scatter/gather sweep "
+              "(see 'bench-engine --help', '--shards N' for a "
+              "sharded-only run)"),
     )
     args = parser.parse_args(argv)
 

@@ -36,11 +36,20 @@ from ..deuteronomy.engine import DeuteronomyEngine
 from ..deuteronomy.tc import TcConfig
 from ..hardware.machine import Machine
 from ..hardware.metrics import Histogram
+from ..sharding import ShardedEngine
 from ..storage.cache import EvictionPolicy
-from ..workloads.ycsb import OpKind, Operation, WorkloadGenerator, WorkloadSpec
+from ..workloads.ycsb import (
+    OpKind,
+    Operation,
+    WorkloadGenerator,
+    WorkloadSpec,
+    partition_operations,
+    shard_balance,
+)
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_OUT = "BENCH_engine.json"
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 
 MIX_BUILDERS = {
     "a": WorkloadSpec.ycsb_a,   # 50/50 read/update — the group-commit case
@@ -175,6 +184,82 @@ def _run_mix(
     return {"per_op": per_op, "batched": batched, "speedup": speedup}
 
 
+def _run_sharded_mix(
+    mix: str,
+    record_count: int,
+    op_count: int,
+    batch_size: int,
+    shard_counts: Iterable[int],
+    cores_per_shard: int,
+    value_bytes: int,
+    sync_commit: bool,
+    threaded: bool,
+) -> Dict[str, object]:
+    """One mix's scaling curve: batched scatter/gather at each shard count.
+
+    Every shard count drives the *same* generated operation stream (the
+    generator is deterministic per spec) with identical per-shard
+    machines, so per-shard simulated core-seconds per op are held
+    constant and the curve isolates cross-shard routing overhead vs. the
+    per-shard batching win.  Fleet throughput uses the slowest shard's
+    virtual elapsed time — shards run in parallel.
+    """
+    builder = MIX_BUILDERS[mix]
+    spec_kwargs = dict(record_count=record_count, value_bytes=value_bytes)
+    curve: Dict[str, object] = {}
+    for num_shards in shard_counts:
+        engine = ShardedEngine(
+            num_shards,
+            cores_per_shard=cores_per_shard,
+            tc_config=TcConfig(sync_commit=sync_commit),
+            threaded=threaded,
+        )
+        generator = WorkloadGenerator(builder(**spec_kwargs))
+        engine.bulk_load(generator.load_items())
+        engine.reset_accounting()
+        ops = list(generator.operations(op_count))
+        balance = shard_balance(partition_operations(
+            iter(ops), num_shards,
+            lambda key, __n: engine.shard_for(key)))
+        started = time.time()
+        for start in range(0, len(ops), batch_size):
+            batch = [
+                ("get", op.key, None) if op.kind is OpKind.READ
+                else ("put", op.key, op.value)
+                for op in ops[start:start + batch_size]
+            ]
+            engine.apply_batch(batch)
+        wall_seconds = time.time() - started
+        stats = engine.stats()
+        fleet = stats["fleet"]
+        elapsed = fleet["elapsed_seconds"]
+        curve[str(num_shards)] = {
+            "shards": num_shards,
+            "operations": op_count,
+            "ops_per_sec": (op_count / elapsed) if elapsed else 0.0,
+            "core_us_per_op": (fleet["core_seconds"] * 1e6 / op_count)
+            if op_count else 0.0,
+            "fleet_core_seconds": fleet["core_seconds"],
+            "fleet_elapsed_seconds": elapsed,
+            "fleet_dram_bytes": fleet["dram_bytes"],
+            "tc_hit_rate": fleet["tc_hit_rate"],
+            "read_cache_hit_rate": fleet["read_cache_hit_rate"],
+            "page_cache_hit_rate": fleet["page_cache_hit_rate"],
+            "log_flushes": fleet["log_flushes"],
+            "ssd_ios": fleet["ssd_ios"],
+            "shard_balance": balance,
+            "wall_seconds": wall_seconds,
+        }
+    baseline = curve.get("1")
+    if baseline is not None:
+        base_rate = baseline["ops_per_sec"]
+        for entry in curve.values():
+            entry["scaling_vs_1"] = (
+                entry["ops_per_sec"] / base_rate if base_rate else 0.0
+            )
+    return curve
+
+
 def _run_eviction_comparison(
     record_count: int,
     op_count: int,
@@ -214,8 +299,17 @@ def run_bench(
     value_bytes: int = 100,
     sync_commit: bool = True,
     eviction_comparison: bool = True,
+    shard_counts: Iterable[int] = DEFAULT_SHARD_COUNTS,
+    per_path_comparison: bool = True,
+    threaded_shards: bool = False,
 ) -> Dict[str, object]:
-    """Run the benchmark and return the report dict (see module doc)."""
+    """Run the benchmark and return the report dict (see module doc).
+
+    ``shard_counts`` drives the sharded scatter/gather sweep (empty
+    disables it); ``per_path_comparison`` toggles the original per-op vs
+    batched single-engine comparison.
+    """
+    shard_counts = tuple(shard_counts)
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "engine-throughput",
@@ -226,15 +320,25 @@ def run_bench(
             "cores": cores,
             "value_bytes": value_bytes,
             "sync_commit": sync_commit,
+            "shard_counts": list(shard_counts),
+            "threaded_shards": threaded_shards,
         },
         "mixes": {},
     }
     for mix in mixes:
         if mix not in MIX_BUILDERS:
             raise ValueError(f"unknown mix {mix!r}; choose from a, b, c")
-        report["mixes"][f"ycsb-{mix}"] = _run_mix(
-            mix, record_count, op_count, batch_size, cores, value_bytes,
-            sync_commit)
+        if per_path_comparison:
+            report["mixes"][f"ycsb-{mix}"] = _run_mix(
+                mix, record_count, op_count, batch_size, cores,
+                value_bytes, sync_commit)
+    sharded: Dict[str, object] = {}
+    if shard_counts:
+        for mix in mixes:
+            sharded[f"ycsb-{mix}"] = _run_sharded_mix(
+                mix, record_count, op_count, batch_size, shard_counts,
+                cores, value_bytes, sync_commit, threaded_shards)
+    report["sharded"] = sharded
     if eviction_comparison:
         report["eviction"] = _run_eviction_comparison(
             record_count, op_count, cores, value_bytes)
@@ -250,10 +354,12 @@ def render(report: Dict[str, object]) -> str:
         f"{config['record_count']} records, batch={config['batch_size']}, "
         f"cores={config['cores']}, sync_commit={config['sync_commit']}"
     )
-    header = (f"{'mix':8s} {'path':8s} {'ops/sec':>12s} {'core us/op':>11s} "
-              f"{'p50 us':>8s} {'p99 us':>8s} {'cache hit':>10s} "
-              f"{'flushes':>8s}")
-    lines.append(header)
+    if report["mixes"]:
+        lines.append(
+            f"{'mix':8s} {'path':8s} {'ops/sec':>12s} "
+            f"{'core us/op':>11s} {'p50 us':>8s} {'p99 us':>8s} "
+            f"{'cache hit':>10s} {'flushes':>8s}"
+        )
     for mix, result in report["mixes"].items():
         for path in ("per_op", "batched"):
             stats = result[path]
@@ -266,6 +372,31 @@ def render(report: Dict[str, object]) -> str:
                 f"{stats['log_flushes']:8d}"
             )
         lines.append(f"{mix:8s} speedup  {result['speedup']:.2f}x")
+    sharded = report.get("sharded")
+    if sharded:
+        lines.append("")
+        lines.append(
+            f"sharded scatter/gather (batched, "
+            f"{config['cores']} cores/shard):"
+        )
+        lines.append(
+            f"{'mix':8s} {'shards':>6s} {'ops/sec':>12s} "
+            f"{'core us/op':>11s} {'scaling':>8s} {'balance':>8s} "
+            f"{'tc hit':>7s} {'flushes':>8s}"
+        )
+        for mix, curve in sharded.items():
+            for __, entry in sorted(curve.items(),
+                                    key=lambda kv: kv[1]["shards"]):
+                scaling = entry.get("scaling_vs_1")
+                lines.append(
+                    f"{mix:8s} {entry['shards']:6d} "
+                    f"{entry['ops_per_sec']:12,.0f} "
+                    f"{entry['core_us_per_op']:11.3f} "
+                    f"{(f'{scaling:.2f}x' if scaling else '-'):>8s} "
+                    f"{entry['shard_balance']:8.2f} "
+                    f"{entry['tc_hit_rate']:7.3f} "
+                    f"{entry['log_flushes']:8d}"
+                )
     eviction = report.get("eviction")
     if eviction:
         lines.append(
@@ -289,11 +420,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--records", type=int, default=4000)
     parser.add_argument("--ops", type=int, default=10_000)
     parser.add_argument("--batch-size", type=int, default=64)
-    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--cores", type=int, default=4,
+                        help="cores per machine (per shard in sharded "
+                             "runs)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run ONLY the sharded benchmark at this "
+                             "shard count (default: full run sweeps "
+                             f"{list(DEFAULT_SHARD_COUNTS)})")
+    parser.add_argument("--threaded", action="store_true",
+                        help="thread-per-shard dispatch for sharded runs "
+                             "(same simulated results, overlapped wall "
+                             "clock)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT}); "
                              "'-' skips writing")
     args = parser.parse_args(argv)
+    if args.shards is not None and args.shards <= 0:
+        parser.error(f"--shards must be positive, got {args.shards}")
 
     if args.smoke:
         mixes = ["a"]
@@ -304,6 +447,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         record_count, op_count = args.records, args.ops
         eviction_comparison = True
 
+    if args.shards is not None:
+        # Sharded-only mode (the CI sharded smoke): one shard count, no
+        # single-engine comparison and no eviction study.
+        shard_counts: Tuple[int, ...] = (args.shards,)
+        per_path_comparison = False
+        eviction_comparison = False
+    elif args.smoke:
+        shard_counts = ()
+        per_path_comparison = True
+    else:
+        shard_counts = DEFAULT_SHARD_COUNTS
+        per_path_comparison = True
+
     report = run_bench(
         mixes=mixes,
         record_count=record_count,
@@ -311,6 +467,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch_size=args.batch_size,
         cores=args.cores,
         eviction_comparison=eviction_comparison,
+        shard_counts=shard_counts,
+        per_path_comparison=per_path_comparison,
+        threaded_shards=args.threaded,
     )
     print(render(report))
     if args.out != "-":
@@ -319,14 +478,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                             + "\n")
         print(f"\nwrote {out_path}")
 
+    failures = []
     # The batched path exists to be faster on the update-heavy mix; fail
     # loudly if a change regresses it below the tracked floor.
     ycsb_a = report["mixes"].get("ycsb-a")
     if ycsb_a is not None and ycsb_a["speedup"] < 1.3:
-        print(f"FAIL: ycsb-a batched speedup {ycsb_a['speedup']:.2f}x "
-              "< 1.3x floor", file=sys.stderr)
-        return 1
-    return 0
+        failures.append(
+            f"ycsb-a batched speedup {ycsb_a['speedup']:.2f}x < 1.3x floor"
+        )
+    # Sharding exists to scale aggregate throughput; with per-shard
+    # core-seconds per op held constant, 4 shards must at least match
+    # the 1-shard batched number on the update-heavy mix.
+    sharded_a = report.get("sharded", {}).get("ycsb-a", {})
+    if "1" in sharded_a and "4" in sharded_a:
+        one, four = sharded_a["1"], sharded_a["4"]
+        if four["ops_per_sec"] < one["ops_per_sec"]:
+            failures.append(
+                f"4-shard ycsb-a aggregate {four['ops_per_sec']:,.0f} "
+                f"ops/sec below 1-shard {one['ops_per_sec']:,.0f}"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -34,7 +34,7 @@ from ..storage.cache import EvictionPolicy, PageCache
 from ..storage.checkpoint import CheckpointManager
 from ..storage.gc import GarbageCollector
 from ..storage.log_store import LogStructuredStore
-from ..storage.mapping_table import MappingTable, PageEntry
+from ..storage.mapping_table import FlashAddr, MappingTable, PageEntry
 from ..storage.pages import DataPageState, DeltaKind, Record, RecordDelta
 from .node import InnerNode
 
@@ -758,14 +758,20 @@ class BwTree:
         tree.checkpoints.note_relocated(addr)
         leaf_keys: List[Tuple[bytes, int]] = []
         empty_pages: List[PageEntry] = []
+        live_addrs: List[FlashAddr] = [addr]
         for page_id, (chain, fdr) in sorted(image.chains().items()):
             entry = tree.mapping_table.restore_entry(page_id, chain, fdr)
+            live_addrs.extend(chain)
             machine.dram.allocate(MAPPING_ENTRY_BYTES, DRAM_TAG_MAPPING)
             min_key = tree._recovered_min_key(entry)
             if min_key is None:
                 empty_pages.append(entry)
             else:
                 leaf_keys.append((min_key, page_id))
+        # Pre-crash invalidations may have referred to replacement writes
+        # that never became durable; the recovered chains (plus the live
+        # checkpoint) are now the truth about which flash images are live.
+        store.rebuild_liveness(live_addrs)
         leaf_keys.sort()
         if not leaf_keys:
             # Nothing (or only empty pages) on flash: fresh root, drop the

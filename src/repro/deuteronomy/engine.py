@@ -35,6 +35,9 @@ class DeuteronomyEngine:
         self.dc = (data_component if data_component is not None
                    else BwTree(machine, tree_config))
         self.tc = TransactionComponent(machine, self.dc, tc_config)
+        # Set once this engine has been crashed-and-recovered: the engine
+        # that replaced it.  Guards double recovery (see :meth:`recover`).
+        self._recovered_into: Optional["DeuteronomyEngine"] = None
 
     @classmethod
     def recover(cls, crashed: "DeuteronomyEngine",
@@ -47,7 +50,16 @@ class DeuteronomyEngine:
         Transactions whose redo records had not reached flash are lost —
         the standard write-ahead-logging contract (``checkpoint()`` forces
         the log).
+
+        Recovery is idempotent per crashed engine: the replacement shares
+        the crashed engine's machine and flash store, so running the crash
+        simulation a second time would wipe the replacement's DRAM and
+        open write buffer out from under it.  Repeat calls (recovering
+        shards in a loop, retry logic) return the engine the first call
+        built instead of re-crashing.
         """
+        if crashed._recovered_into is not None:
+            return crashed._recovered_into
         machine = crashed.machine
         durable = list(crashed.tc.log.durable_records)
         crashed.dc.store.simulate_crash()
@@ -60,6 +72,7 @@ class DeuteronomyEngine:
             data_component=dc,
         )
         engine.tc.replay_redo(durable)
+        crashed._recovered_into = engine
         return engine
 
     @contextlib.contextmanager
@@ -155,6 +168,41 @@ class DeuteronomyEngine:
         """Flush the log and every dirty data page."""
         self.tc.log.flush()
         self.dc.checkpoint()
+
+    def stats(self) -> dict:
+        """One engine's cost/cache accounting as a flat dict.
+
+        Everything here is either an additive count (summable across a
+        shard fleet) or derivable from the additive counts, so
+        ``ShardedEngine.stats`` can aggregate shards uniformly and the
+        paper's Eqs. 4-5 pricing (core-seconds of CPU, resident DRAM
+        bytes) still applies to the fleet as a whole.
+        """
+        summary = self.machine.summary()
+        read_cache = self.tc.read_cache
+        page_cache = self.dc.cache
+        return {
+            "operations": summary.operations,
+            "core_seconds": summary.cpu_busy_seconds,
+            "elapsed_seconds": summary.elapsed_seconds,
+            "ssd_busy_seconds": summary.ssd_busy_seconds,
+            "ssd_ios": summary.ssd_ios,
+            "dram_bytes": self.machine.dram.current_bytes,
+            "tc_dram_bytes": self.tc.dram_footprint_bytes(),
+            "commits": self.tc.counters.get("tc.commits"),
+            "aborts": self.tc.counters.get("tc.aborts"),
+            "reads": self.tc.counters.get("tc.reads"),
+            "dc_reads": self.tc.counters.get("tc.dc_reads"),
+            "tc_hit_rate": self.tc.tc_hit_rate(),
+            "read_cache_hits": read_cache.hits,
+            "read_cache_misses": read_cache.misses,
+            "read_cache_hit_rate": read_cache.hit_rate(),
+            "page_cache_touches": page_cache.stats.touches,
+            "page_cache_fetches": page_cache.stats.fetches,
+            "page_cache_hit_rate": page_cache.hit_rate(),
+            "log_flushes": self.tc.log.flushes,
+            "log_batch_appends": self.tc.log.batch_appends,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DeuteronomyEngine(dc={self.dc!r})"

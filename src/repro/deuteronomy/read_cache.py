@@ -81,8 +81,8 @@ class ReadCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    @property
     def hit_rate(self) -> float:
+        """Fraction of probes served from the cache (PageCache parity)."""
         total = self.hits + self.misses
         if total == 0:
             return 0.0
@@ -91,5 +91,5 @@ class ReadCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ReadCache(entries={len(self._entries)}, bytes={self._bytes}, "
-            f"hit_rate={self.hit_rate:.3f})"
+            f"hit_rate={self.hit_rate():.3f})"
         )

@@ -1,0 +1,318 @@
+"""ShardedEngine: hash-partitioned fleet of DeuteronomyEngine shards.
+
+The paper prices throughput per core-second and DRAM byte (Eqs. 1-5);
+scaling "heavy traffic" past one engine means running many independent
+engines over partitioned keyspaces, the way Deuteronomy's TC/DC split
+was built to scale out.  Each shard here is a full
+:class:`DeuteronomyEngine` — its own simulated machine, Bw-tree,
+recovery log and read cache — so shards share no state and the fleet's
+cost accounting is the sum of the shards'.
+
+The batched API is scatter/gather: one input batch fans out once into
+per-shard sub-batches, each shard runs its sub-batch through its own
+group-commit path (one log append, one flush decision per shard), and
+the per-shard results merge back in input order.  The PR-1 durability
+contract holds per shard: each shard's durable log is a prefix of its
+append order, and :meth:`ShardedEngine.recover` rebuilds every shard
+plus an identically-routing router.
+
+Dispatch is sequential by default — simulated virtual time makes the
+results deterministic and thread-independent — with optional
+thread-per-shard dispatch (``threaded=True``) for wall-clock overlap;
+shards share no state, so threading changes no observable outcome, only
+real elapsed time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..bwtree.tree import BwTreeConfig
+from ..deuteronomy.engine import DeuteronomyEngine
+from ..deuteronomy.tc import TcConfig
+from ..hardware.machine import Machine
+from ..hardware.metrics import CounterSet
+from .router import ShardRouter
+
+# stats() keys that are additive across shards; the rest are re-derived
+# from the sums so fleet-level rates weight every shard's traffic.
+_ADDITIVE_STAT_KEYS = (
+    "operations", "core_seconds", "ssd_busy_seconds", "ssd_ios",
+    "dram_bytes", "tc_dram_bytes", "commits", "aborts", "reads",
+    "dc_reads", "read_cache_hits", "read_cache_misses",
+    "page_cache_touches", "page_cache_fetches", "log_flushes",
+    "log_batch_appends",
+)
+
+
+class ShardedEngine:
+    """N independent engine shards behind a hash router."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        cores_per_shard: int = 4,
+        tree_config: Optional[BwTreeConfig] = None,
+        tc_config: Optional[TcConfig] = None,
+        machine_factory: Optional[Callable[[], Machine]] = None,
+        threaded: bool = False,
+        _shards: Optional[Sequence[DeuteronomyEngine]] = None,
+    ) -> None:
+        self.router = ShardRouter(num_shards)
+        self.threaded = threaded
+        self.counters = CounterSet()
+        if _shards is not None:
+            if len(_shards) != num_shards:
+                raise ValueError(
+                    f"{len(_shards)} shards given for num_shards="
+                    f"{num_shards}"
+                )
+            self.shards: List[DeuteronomyEngine] = list(_shards)
+        else:
+            factory = machine_factory if machine_factory is not None else (
+                lambda: Machine.paper_default(cores=cores_per_shard)
+            )
+            self.shards = [
+                DeuteronomyEngine(factory(), tree_config=tree_config,
+                                  tc_config=tc_config)
+                for __ in range(num_shards)
+            ]
+        self._recovered_into: Optional["ShardedEngine"] = None
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    # --- routing ------------------------------------------------------
+
+    def shard_for(self, key: bytes) -> int:
+        """The shard index owning ``key`` (exposed for tests/benchmarks)."""
+        return self.router.shard_for(key)
+
+    def _shard_of(self, key: bytes) -> DeuteronomyEngine:
+        shard = self.shards[self.router.shard_for(key)]
+        # The routing hash is real per-operation work; charge it to the
+        # owning shard so fleet core-seconds include the router.
+        shard.machine.cpu.charge("hash_probe", category="router")
+        self.counters.add("router.routed_ops")
+        return shard
+
+    def _dispatch(
+        self, jobs: Sequence[Callable[[], object]],
+    ) -> List[object]:
+        """Run per-shard jobs, sequentially or one thread per shard.
+
+        Shards share no state, so threaded dispatch changes wall-clock
+        overlap only — simulated costs and results are identical to the
+        sequential (deterministic test-default) mode.
+        """
+        if self.threaded and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
+                futures = [pool.submit(job) for job in jobs]
+                return [future.result() for future in futures]
+        return [job() for job in jobs]
+
+    # --- single-key API -----------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Autocommitted snapshot read on the owning shard."""
+        return self._shard_of(key).get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Autocommitted single-key update on the owning shard."""
+        self._shard_of(key).put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        """Autocommitted single-key delete on the owning shard."""
+        self._shard_of(key).delete(key)
+
+    # --- batched scatter/gather API -----------------------------------
+
+    def _scatter_gather(
+        self,
+        items: Sequence,
+        key_of: Callable,
+        run_shard: Callable[[DeuteronomyEngine, list], list],
+    ) -> list:
+        """Fan a batch out by shard, dispatch, merge in input order."""
+        per_shard, positions = self.router.scatter(items, key_of)
+        jobs: List[Callable[[], list]] = []
+        job_positions: List[List[int]] = []
+        for shard_id, sub_batch in enumerate(per_shard):
+            if not sub_batch:
+                continue
+            shard = self.shards[shard_id]
+            shard.machine.cpu.charge("hash_probe", len(sub_batch),
+                                     category="router")
+            jobs.append(
+                lambda shard=shard, sub=sub_batch: run_shard(shard, sub)
+            )
+            job_positions.append(positions[shard_id])
+        results = self._dispatch(jobs)
+        self.counters.add("router.batches")
+        self.counters.add("router.routed_ops", len(items))
+        return self.router.gather(len(items), results, job_positions)
+
+    def multi_put(
+        self, items: Sequence[Tuple[bytes, bytes]],
+    ) -> List[int]:
+        """Group-committed puts, one group commit per involved shard.
+
+        Items are applied in input order per key (duplicate keys are
+        last-wins, exactly as on a single engine, because a key's
+        occurrences all land on the same shard in order).  Returns one
+        commit timestamp per item; timestamps are per-shard clocks and
+        only comparable within a shard.
+        """
+        items = list(items)
+        return self._scatter_gather(
+            items, lambda item: item[0],
+            lambda shard, sub: shard.multi_put(sub),
+        )
+
+    def multi_delete(self, keys: Sequence[bytes]) -> List[int]:
+        """Group-committed deletes (see :meth:`multi_put`)."""
+        keys = list(keys)
+        return self._scatter_gather(
+            keys, lambda key: key,
+            lambda shard, sub: shard.multi_delete(sub),
+        )
+
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Batched reads: one snapshot transaction per involved shard.
+
+        Each shard's sub-batch is one consistent snapshot; there is no
+        cross-shard snapshot (shards have independent clocks), matching
+        the usual contract of hash-sharded stores.
+        """
+        keys = list(keys)
+        return self._scatter_gather(
+            keys, lambda key: key,
+            lambda shard, sub: shard.multi_get(sub),
+        )
+
+    def apply_batch(
+        self, ops: Sequence[Tuple[str, bytes, Optional[bytes]]],
+    ) -> List[Optional[bytes]]:
+        """Mixed get/put/delete batch, scatter/gathered by key.
+
+        Per shard the sub-batch runs as one transaction through group
+        commit, so reads see the batch's earlier writes *to keys of the
+        same shard* — with hash routing that is every earlier write to
+        the same key, which is what read-your-batch-writes requires.
+        """
+        ops = list(ops)
+        return self._scatter_gather(
+            ops, lambda op: op[1],
+            lambda shard, sub: shard.apply_batch(sub),
+        )
+
+    # --- load / maintenance -------------------------------------------
+
+    def bulk_load(self, items: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Partition a key-ordered load stream and bulk-load every shard.
+
+        Each shard receives the subsequence of items it owns (still in
+        key order, as bulk load requires).  Returns total records loaded.
+        """
+        per_shard: List[List[Tuple[bytes, bytes]]] = [
+            [] for __ in range(self.num_shards)
+        ]
+        total = 0
+        for key, value in items:
+            per_shard[self.router.shard_for(key)].append((key, value))
+            total += 1
+        for shard, shard_items in zip(self.shards, per_shard):
+            if shard_items:
+                shard.dc.bulk_load(shard_items)
+        return total
+
+    def checkpoint(self) -> None:
+        """Flush every shard's log and dirty pages (fleet-wide WAL point)."""
+        self._dispatch([shard.checkpoint for shard in self.shards])
+
+    def reset_accounting(self) -> None:
+        """Zero every shard machine's traffic counters (post-warmup)."""
+        for shard in self.shards:
+            shard.machine.reset_accounting()
+
+    # --- recovery ------------------------------------------------------
+
+    @classmethod
+    def recover(cls, crashed: "ShardedEngine") -> "ShardedEngine":
+        """Rebuild every shard after a fleet-wide power loss.
+
+        Shards recover independently (each from its own checkpoint +
+        durable redo log, the per-shard PR-1 contract) and the new
+        router partitions identically — the hash is process-independent
+        — so every record recovers onto the shard that owns its key.
+        Idempotent like :meth:`DeuteronomyEngine.recover`: repeat calls
+        return the fleet the first call built.
+        """
+        if crashed._recovered_into is not None:
+            return crashed._recovered_into
+        recovered_shards = [
+            DeuteronomyEngine.recover(shard) for shard in crashed.shards
+        ]
+        engine = cls(
+            crashed.num_shards,
+            threaded=crashed.threaded,
+            _shards=recovered_shards,
+        )
+        crashed._recovered_into = engine
+        return engine
+
+    # --- aggregated accounting ----------------------------------------
+
+    def stats(self) -> dict:
+        """Fleet-level cost/cache accounting.
+
+        ``fleet`` sums every shard's additive counters and re-derives
+        the rates from the sums (so rates are traffic-weighted), keeping
+        the paper's Eq. 4-5 pricing applicable to the fleet: core
+        seconds and DRAM bytes are totals over all shard machines.
+        ``elapsed_seconds`` is the *maximum* over shards — shards run in
+        parallel, so the slowest shard bounds fleet virtual time.
+        """
+        per_shard = [shard.stats() for shard in self.shards]
+        fleet = {
+            key: sum(stats[key] for stats in per_shard)
+            for key in _ADDITIVE_STAT_KEYS
+        }
+        fleet["elapsed_seconds"] = max(
+            (stats["elapsed_seconds"] for stats in per_shard),
+            default=0.0,
+        )
+        reads = fleet["reads"]
+        fleet["tc_hit_rate"] = (
+            1.0 - fleet["dc_reads"] / reads if reads else 0.0
+        )
+        probes = fleet["read_cache_hits"] + fleet["read_cache_misses"]
+        fleet["read_cache_hit_rate"] = (
+            fleet["read_cache_hits"] / probes if probes else 0.0
+        )
+        touches = fleet["page_cache_touches"]
+        fleet["page_cache_hit_rate"] = (
+            1.0 - fleet["page_cache_fetches"] / touches if touches else 0.0
+        )
+        return {
+            "num_shards": self.num_shards,
+            "routed_ops": self.counters.get("router.routed_ops"),
+            "routed_batches": self.counters.get("router.batches"),
+            "fleet": fleet,
+            "per_shard": per_shard,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine(num_shards={self.num_shards}, "
+            f"threaded={self.threaded})"
+        )

@@ -194,6 +194,28 @@ class LogStructuredStore:
         self.machine.ssd.release_bytes(info.total_bytes)
         return info.total_bytes
 
+    def rebuild_liveness(self, live_addrs) -> None:
+        """Reset every flushed segment's live flags from ``live_addrs``.
+
+        Liveness is main-memory metadata: invalidations performed just
+        before a crash may refer to replacement writes that never reached
+        flash, so after recovery the flags can disagree with the recovered
+        mapping table in both directions (checkpoint-referenced images
+        marked dead, orphaned post-checkpoint images marked live).  The
+        cleaner trusts these flags when dropping segments, so recovery
+        must re-derive them from its authoritative address set: the
+        restored flash chains plus the live checkpoint image.
+        """
+        live = {(addr.segment_id, addr.offset) for addr in live_addrs}
+        for segment_id, info in self.segments.items():
+            live_bytes = 0
+            for offset, (nbytes, __) in info.entries.items():
+                is_live = (segment_id, offset) in live
+                info.entries[offset] = (nbytes, is_live)
+                if is_live:
+                    live_bytes += nbytes
+            info.live_bytes = live_bytes
+
     # --- crash simulation --------------------------------------------------
 
     def simulate_crash(self) -> int:

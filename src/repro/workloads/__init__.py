@@ -18,6 +18,8 @@ from .ycsb import (
     WorkloadGenerator,
     WorkloadSpec,
     apply_operations,
+    partition_operations,
+    shard_balance,
 )
 
 __all__ = [
@@ -35,5 +37,7 @@ __all__ = [
     "OpKind",
     "RunStats",
     "apply_operations",
+    "partition_operations",
+    "shard_balance",
     "Trace",
 ]

@@ -194,6 +194,37 @@ class WorkloadGenerator:
         return self.key_for(index)
 
 
+def partition_operations(
+    operations: Iterator[Operation],
+    num_shards: int,
+    shard_for,
+) -> List[List[Operation]]:
+    """Split an operation stream into per-shard streams, order preserved.
+
+    ``shard_for(key, num_shards)`` (or any ``(bytes, int) -> int``) picks
+    the owning shard.  Each shard's stream is the subsequence of the
+    input it owns, which is exactly what a scatter router delivers —
+    useful for shard-balance reporting and for driving shards
+    independently in benchmarks.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    per_shard: List[List[Operation]] = [[] for __ in range(num_shards)]
+    for op in operations:
+        per_shard[shard_for(op.key, num_shards)].append(op)
+    return per_shard
+
+
+def shard_balance(per_shard: List[List[Operation]]) -> float:
+    """Max/mean shard load ratio (1.0 = perfectly even, higher = skewed)."""
+    counts = [len(ops) for ops in per_shard]
+    total = sum(counts)
+    if total == 0 or not counts:
+        return 1.0
+    mean = total / len(counts)
+    return max(counts) / mean
+
+
 @dataclass
 class RunStats:
     """What happened when a stream was applied to a store."""

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.__main__ import main as cli_main
 from repro.bench.engine_bench import SCHEMA_VERSION, render, run_bench
 
@@ -54,6 +56,47 @@ class TestRunBench:
             raise AssertionError("expected ValueError")
 
 
+SHARDED_KEYS = {
+    "shards", "operations", "ops_per_sec", "core_us_per_op",
+    "fleet_core_seconds", "fleet_elapsed_seconds", "fleet_dram_bytes",
+    "tc_hit_rate", "read_cache_hit_rate", "page_cache_hit_rate",
+    "log_flushes", "ssd_ios", "shard_balance", "wall_seconds",
+}
+
+
+class TestShardedSweep:
+    def test_sharded_section_shape(self):
+        report = run_bench(mixes=["a"], record_count=300, op_count=600,
+                           batch_size=32, eviction_comparison=False,
+                           shard_counts=(1, 2), per_path_comparison=False)
+        assert report["mixes"] == {}
+        assert report["config"]["shard_counts"] == [1, 2]
+        curve = report["sharded"]["ycsb-a"]
+        for count in ("1", "2"):
+            entry = curve[count]
+            assert SHARDED_KEYS <= set(entry)
+            assert entry["shards"] == int(count)
+            assert entry["operations"] == 600
+            assert entry["shard_balance"] >= 1.0
+            # Scaling is normalised against the single-shard run.
+            assert entry["scaling_vs_1"] == pytest.approx(
+                entry["ops_per_sec"] / curve["1"]["ops_per_sec"])
+        assert curve["1"]["scaling_vs_1"] == pytest.approx(1.0)
+
+    def test_empty_shard_counts_disable_sweep(self):
+        report = run_bench(mixes=["c"], record_count=200, op_count=300,
+                           eviction_comparison=False, shard_counts=())
+        assert report["sharded"] == {}
+
+    def test_render_includes_sharded_table(self):
+        report = run_bench(mixes=["c"], record_count=200, op_count=300,
+                           eviction_comparison=False, shard_counts=(1, 2),
+                           per_path_comparison=False)
+        text = render(report)
+        assert "sharded" in text
+        assert "scaling" in text
+
+
 class TestCli:
     def test_bench_engine_subcommand_writes_json(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -62,5 +105,20 @@ class TestCli:
         report = json.loads(out.read_text())
         assert report["benchmark"] == "engine-throughput"
         assert "ycsb-a" in report["mixes"]
+        # Smoke without --shards skips the sweep to stay fast.
+        assert report["sharded"] == {}
         captured = capsys.readouterr()
         assert "speedup" in captured.out
+
+    def test_bench_engine_shards_flag_runs_sharded_only(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "bench.json"
+        rc = cli_main(["bench-engine", "--smoke", "--shards", "2",
+                       "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["mixes"] == {}
+        assert set(report["sharded"]) == {"ycsb-a"}
+        assert report["sharded"]["ycsb-a"]["2"]["shards"] == 2
+        captured = capsys.readouterr()
+        assert "sharded" in captured.out

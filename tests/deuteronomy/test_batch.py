@@ -145,3 +145,67 @@ class TestGroupCommitSemantics:
         recovered = DeuteronomyEngine.recover(engine)
         for index in range(8):
             assert recovered.get(b"k%d" % index) == b"v%d" % index
+
+
+class TestBatchEdgeCases:
+    """Edge cases the sharded scatter/gather router leans on."""
+
+    def test_empty_multi_put_is_a_no_op(self):
+        engine = make_engine()
+        assert engine.multi_put([]) == []
+        assert engine.tc.counters.get("tc.commits") == 0
+
+    def test_empty_multi_get_and_delete(self):
+        engine = make_engine()
+        assert engine.multi_get([]) == []
+        assert engine.multi_delete([]) == []
+
+    def test_empty_apply_batch(self):
+        engine = make_engine(sync=True)
+        flushes = engine.tc.log.flushes
+        assert engine.apply_batch([]) == []
+        # An empty group commit must not force a log flush.
+        assert engine.tc.log.flushes == flushes
+
+    def test_apply_batch_duplicate_key_last_wins(self):
+        engine = make_engine()
+        results = engine.apply_batch([
+            ("put", b"k", b"first"),
+            ("put", b"k", b"second"),
+            ("get", b"k", None),
+            ("put", b"k", b"third"),
+        ])
+        assert results == [None, None, b"second", None]
+        assert engine.get(b"k") == b"third"
+
+    def test_apply_batch_put_then_delete_same_key(self):
+        engine = make_engine()
+        engine.put(b"k", b"old")
+        results = engine.apply_batch([
+            ("put", b"k", b"new"),
+            ("get", b"k", None),
+            ("delete", b"k", None),
+            ("get", b"k", None),
+            ("put", b"k2", b"kept"),
+        ])
+        assert results == [None, b"new", None, None, None]
+        assert engine.get(b"k") is None
+        assert engine.get(b"k2") == b"kept"
+
+    def test_apply_batch_delete_then_put_resurrects(self):
+        engine = make_engine()
+        engine.put(b"k", b"old")
+        engine.apply_batch([
+            ("delete", b"k", None),
+            ("put", b"k", b"reborn"),
+        ])
+        assert engine.get(b"k") == b"reborn"
+
+    def test_multi_put_mixed_with_deletes_via_run_update_batch(self):
+        engine = make_engine()
+        # None values are deletes on the same group-commit path.
+        engine.multi_put([(b"a", b"1"), (b"b", b"2")])
+        timestamps = engine.tc.run_update_batch(
+            [(b"a", None), (b"a", b"3"), (b"b", None)])
+        assert all(ts is not None for ts in timestamps)
+        assert engine.multi_get([b"a", b"b"]) == [b"3", None]

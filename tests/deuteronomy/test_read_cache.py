@@ -28,7 +28,12 @@ def test_hit_rate(cache):
     cache.insert(b"k", b"v")
     cache.lookup(b"k")
     cache.lookup(b"x")
-    assert cache.hit_rate == pytest.approx(0.5)
+    # A method, not a property: call-signature parity with PageCache.
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+def test_hit_rate_empty_cache_is_zero(cache):
+    assert cache.hit_rate() == 0.0
 
 
 def test_fifo_eviction_under_budget(cache):
