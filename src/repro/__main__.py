@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable, Dict, Tuple
 
 from .bench import (
@@ -67,6 +66,10 @@ def main(argv=None) -> int:
         # Throughput benchmark subcommand with its own option parser.
         from .bench.engine_bench import main as bench_engine_main
         return bench_engine_main(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        # Domain static analysis subcommand (repro.analysis).
+        from .analysis.cli import main as lint_main
+        return lint_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -81,7 +84,8 @@ def main(argv=None) -> int:
               "'bench-engine' runs the throughput benchmark, including "
               "the sharded scatter/gather sweep "
               "(see 'bench-engine --help', '--shards N' for a "
-              "sharded-only run)"),
+              "sharded-only run); 'lint' runs the domain static "
+              "checks (see 'lint --help')"),
     )
     args = parser.parse_args(argv)
 
@@ -103,19 +107,20 @@ def main(argv=None) -> int:
                 f"unknown experiment {name!r}; try 'list'"
             )
 
+    from .bench.wallclock import WallTimer
+
     failures = 0
     for key in dict.fromkeys(requested):   # dedupe, keep order
         description, runner = EXPERIMENTS[key]
         print("=" * 72)
         print(f"[{key}] {description}")
         print("=" * 72)
-        started = time.time()
-        result = runner()
-        elapsed = time.time() - started
+        with WallTimer() as timer:
+            result = runner()
         print(result.render())
         ok = result.shape_ok()
         print(f"\nshape check: {'OK' if ok else 'FAILED'} "
-              f"({elapsed:.1f}s)\n")
+              f"({timer.elapsed:.1f}s)\n")
         if not ok:
             failures += 1
     return 1 if failures else 0

@@ -1,0 +1,39 @@
+"""repro.analysis: a domain-aware static checker for this repository.
+
+The paper's argument rests on *complete accounting*: every operation's
+core-seconds and I/O-path CPU must be charged to a machine, or Equations
+(1)-(6) and the ~45 s breakeven silently go wrong.  Nothing in Python
+enforces that a new code path charges the :class:`~repro.hardware.cpu
+.CpuModel`, stays deterministic under replay, or keeps fleet counters
+additive — so this package enforces it mechanically, the way a type
+checker enforces signatures.
+
+Rules (ids usable in ``--select`` and ``# repro: ignore[...]``):
+
+* ``cost-accounting`` — public methods in the engine packages that touch
+  pages or logs must charge CPU / I/O-path work on every path;
+* ``determinism`` — no wall-clock or unseeded randomness inside
+  ``src/repro`` outside ``bench/``; simulated time comes from
+  ``hardware/clock.py``;
+* ``slots-dataclass`` — hot-path dataclasses carry ``__slots__``;
+* ``mutable-default`` — no mutable default argument values;
+* ``counter-additivity`` — keys summed across shards must exist in the
+  per-shard ``stats()`` dicts.
+
+Run ``python -m repro lint`` (or see :mod:`repro.analysis.cli`).
+"""
+
+from __future__ import annotations
+
+from .core import Finding, LintConfig, Rule, SourceFile, all_rules
+from .runner import lint_paths, render_findings
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "lint_paths",
+    "render_findings",
+]

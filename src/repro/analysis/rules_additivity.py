@@ -1,0 +1,183 @@
+"""counter-additivity: fleet sums must be backed by per-shard counters.
+
+``ShardedEngine.stats()`` prices the whole fleet by summing a declared
+tuple of additive keys over every shard's ``stats()`` dict (keeping the
+paper's Eqs. 4-5 applicable fleet-wide).  If a key is declared additive
+but a shard engine stops emitting it, the sum raises ``KeyError`` at
+runtime — or worse, someone "fixes" that with ``.get(key, 0)`` and the
+fleet silently under-counts.  This rule cross-checks statically: every
+string in an ``*_ADDITIVE_*KEYS*`` declaration must appear as a literal
+key of the ``stats()`` dict of every provider class the declaring
+module imports (or defines alongside, for single-module layouts).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .core import Finding, LintConfig, Rule, SourceFile, rule
+
+_DECL_RE = re.compile(r"^_?[A-Z0-9_]*ADDITIVE[A-Z0-9_]*KEYS[A-Z0-9_]*$")
+
+
+def _declared_keys(node: ast.Assign) -> Optional[List[Tuple[str, int, int]]]:
+    """(key, line, col) triples when the assignment declares additive keys."""
+    names = [
+        target.id for target in node.targets
+        if isinstance(target, ast.Name)
+    ]
+    if not any(_DECL_RE.match(name) for name in names):
+        return None
+    if not isinstance(node.value, (ast.Tuple, ast.List, ast.Set)):
+        return None
+    keys: List[Tuple[str, int, int]] = []
+    for element in node.value.elts:
+        if isinstance(element, ast.Constant) \
+                and isinstance(element.value, str):
+            keys.append((element.value, element.lineno,
+                         element.col_offset))
+    return keys
+
+
+def _stats_dict_keys(cls: ast.ClassDef) -> Optional[Set[str]]:
+    """String keys of dict literals returned by the class's stats()."""
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and item.name == "stats":
+            keys: Set[str] = set()
+            saw_dict = False
+            for node in ast.walk(item):
+                if isinstance(node, ast.Return) \
+                        and isinstance(node.value, ast.Dict):
+                    saw_dict = True
+                    for key in node.value.keys:
+                        if isinstance(key, ast.Constant) \
+                                and isinstance(key.value, str):
+                            keys.add(key.value)
+            return keys if saw_dict else None
+    return None
+
+
+@rule
+class CounterAdditivityRule(Rule):
+    rule_id = "counter-additivity"
+    description = (
+        "keys summed across shards must exist in every provider's "
+        "stats() dict"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              config: LintConfig) -> Iterator[Finding]:
+        # Global registry: bare class name -> ClassDef (last wins).
+        class_defs: Dict[str, ast.ClassDef] = {}
+        for source in files:
+            for node in source.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    class_defs[node.name] = node
+
+        for source in files:
+            imported: Set[str] = set()
+            local_classes: List[str] = []
+            declarations: List[
+                Tuple[str, List[Tuple[str, int, int]]]
+            ] = []
+            for node in source.tree.body:
+                if isinstance(node, ast.ImportFrom):
+                    imported.update(
+                        alias.asname or alias.name
+                        for alias in node.names
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    local_classes.append(node.name)
+                elif isinstance(node, ast.Assign):
+                    keys = _declared_keys(node)
+                    if keys is not None:
+                        names = [
+                            t.id for t in node.targets
+                            if isinstance(t, ast.Name)
+                        ]
+                        declarations.append((names[0], keys))
+            if not declarations:
+                continue
+            providers = self._providers(
+                imported, local_classes, class_defs, source
+            )
+            for decl_name, keys in declarations:
+                for provider_name, provider_keys in providers:
+                    for key, line, col in keys:
+                        if key not in provider_keys:
+                            yield Finding(
+                                path=source.path,
+                                line=line,
+                                col=col,
+                                rule=self.rule_id,
+                                message=(
+                                    f"{decl_name} declares {key!r} as "
+                                    "additive but "
+                                    f"{provider_name}.stats() does not "
+                                    "emit that key; summing it across "
+                                    "shards would raise or silently "
+                                    "under-count"
+                                ),
+                            )
+
+    def _providers(
+        self,
+        imported: Set[str],
+        local_classes: List[str],
+        class_defs: Dict[str, ast.ClassDef],
+        source: SourceFile,
+    ) -> List[Tuple[str, Set[str]]]:
+        """Classes whose stats() backs the sums in this module.
+
+        Imported classes with a literal-returning ``stats`` method are
+        the canonical case (ShardedEngine sums DeuteronomyEngine
+        shards); a consumer that sums over locally defined classes
+        (single-module fixtures) uses those instead — but never the
+        class doing the summing itself, which is recognized by its
+        stats() *reading* the declaration.
+        """
+        providers: List[Tuple[str, Set[str]]] = []
+        for name in sorted(imported):
+            cls = class_defs.get(name)
+            if cls is None:
+                continue
+            keys = _stats_dict_keys(cls)
+            if keys is not None:
+                providers.append((name, keys))
+        if providers:
+            return providers
+        consumers = self._consumer_classes(source)
+        for name in local_classes:
+            if name in consumers:
+                continue
+            cls = class_defs.get(name)
+            if cls is None:
+                continue
+            keys = _stats_dict_keys(cls)
+            if keys is not None:
+                providers.append((name, keys))
+        return providers
+
+    @staticmethod
+    def _consumer_classes(source: SourceFile) -> Set[str]:
+        """Local classes whose code reads an additive-keys declaration."""
+        decl_names = {
+            target.id
+            for node in source.tree.body
+            if isinstance(node, ast.Assign)
+            and _declared_keys(node) is not None
+            for target in node.targets
+            if isinstance(target, ast.Name)
+        }
+        consumers: Set[str] = set()
+        for node in source.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and sub.id in decl_names:
+                    consumers.add(node.name)
+                    break
+        return consumers

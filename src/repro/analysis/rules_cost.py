@@ -1,0 +1,268 @@
+"""cost-accounting: engine code must charge the machine for its work.
+
+The paper's Equations (1)-(6) price operations from *charged*
+core-microseconds; a public method that moves page or log bytes without
+charging the :class:`~repro.hardware.cpu.CpuModel` (or an I/O path)
+silently deflates R, ROPS and the 45-second breakeven.  This rule walks
+every public method of the engine packages (``bwtree``, ``storage``,
+``deuteronomy``, ``lsm``, ``sharding``) and reports any that can reach
+a page/log touch on an execution path that never charges.
+
+Mechanics:
+
+* *touch* and *charge* events are resolved through the project call
+  graph (:class:`~repro.analysis.project.ProjectIndex`), so a call to
+  ``self.cache.fetch(...)`` counts as both (PageCache.fetch charges);
+* a four-state dataflow ``{(touched, charged)}`` runs over the method
+  body; branches union, loops are zero-or-more, ``raise`` exits are
+  exempt (error paths owe nothing);
+* a violating exit is any reachable ``(touched=True, charged=False)``.
+
+Suppress intentionally free bookkeeping with
+``# repro: ignore[cost-accounting]`` on the ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .core import (
+    COST_SCOPE_SEGMENTS,
+    Finding,
+    LintConfig,
+    Rule,
+    SourceFile,
+    rule,
+    scoped_to,
+)
+from .project import (
+    CallableInfo,
+    ProjectIndex,
+    split_call,
+    _is_state_drop,
+)
+
+# One dataflow fact: (has touched pages/logs, has charged the machine).
+State = Tuple[bool, bool]
+States = FrozenSet[State]
+
+_ENTRY: States = frozenset({(False, False)})
+
+
+class _PathAnalyzer:
+    """Runs the (touched, charged) dataflow over one method body."""
+
+    def __init__(self, index: ProjectIndex, info: CallableInfo,
+                 local_events: Dict[str, Tuple[bool, bool]]) -> None:
+        self.index = index
+        self.info = info
+        self.local_events = local_events
+        self.exits: Set[State] = set()
+
+    # -- expression-level event collection ------------------------------
+
+    def _call_events(self, node: ast.Call) -> Tuple[bool, bool]:
+        receiver, method = split_call(node)
+        if method is None:
+            return False, False
+        touched, charged = self.index.call_events(
+            self.info, receiver, method
+        )
+        if receiver is None and method in self.local_events:
+            local_touch, local_charge = self.local_events[method]
+            touched = touched or local_touch
+            charged = charged or local_charge
+        return touched, charged
+
+    def _expr_events(self, node: Optional[ast.AST]) -> Tuple[bool, bool]:
+        """(touches, charges) anywhere inside an expression subtree."""
+        if node is None:
+            return False, False
+        touched = charged = False
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda, ast.FunctionDef,
+                                ast.AsyncFunctionDef)):
+                continue
+            if isinstance(sub, ast.Call):
+                t, c = self._call_events(sub)
+                touched = touched or t
+                charged = charged or c
+        return touched, charged
+
+    @staticmethod
+    def _apply(states: States, events: Tuple[bool, bool]) -> States:
+        touch, charge = events
+        if not touch and not charge:
+            return states
+        return frozenset(
+            (t or touch, c or charge) for t, c in states
+        )
+
+    # -- statement-level dataflow ---------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> Set[State]:
+        fallthrough = self._block(body, _ENTRY)
+        self.exits.update(fallthrough)
+        return self.exits
+
+    def _block(self, body: Sequence[ast.stmt], states: States) -> States:
+        current = states
+        for stmt in body:
+            if not current:
+                break
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, states: States) -> States:
+        if isinstance(stmt, ast.Return):
+            after = self._apply(states, self._expr_events(stmt.value))
+            self.exits.update(after)
+            return frozenset()
+        if isinstance(stmt, ast.Raise):
+            # Error paths are exempt: a raise owes no accounting.
+            return frozenset()
+        if isinstance(stmt, ast.If):
+            entry = self._apply(states, self._expr_events(stmt.test))
+            return (self._block(stmt.body, entry)
+                    | self._block(stmt.orelse, entry))
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            entry = self._apply(states, self._expr_events(stmt.iter))
+            once = self._block(stmt.body, entry)
+            # Zero iterations or >=1 (flags are monotone: one symbolic
+            # pass reaches the loop fixpoint).
+            merged = entry | once
+            return merged | self._block(stmt.orelse, merged)
+        if isinstance(stmt, ast.While):
+            entry = self._apply(states, self._expr_events(stmt.test))
+            once = self._block(stmt.body, entry)
+            merged = entry | once
+            return merged | self._block(stmt.orelse, merged)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            events = (False, False)
+            for item in stmt.items:
+                t, c = self._expr_events(item.context_expr)
+                events = (events[0] or t, events[1] or c)
+            return self._block(stmt.body, self._apply(states, events))
+        if isinstance(stmt, ast.Try):
+            body_out = self._block(stmt.body, states)
+            body_out = self._block(stmt.orelse, body_out)
+            handler_out: States = frozenset()
+            for handler in stmt.handlers:
+                # A handler may run after any prefix of the body; the
+                # entry states are a sound under-approximation.
+                handler_out = handler_out | self._block(
+                    handler.body, states | body_out
+                )
+            merged = body_out | handler_out
+            if stmt.finalbody:
+                merged = self._block(stmt.finalbody, merged)
+            return merged
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return states  # nested definitions execute when called
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            # Loop-edge approximation: treat as falling through.
+            return states
+        if isinstance(stmt, ast.Assign) and _is_state_drop(stmt):
+            events = self._expr_events(stmt.value)
+            return self._apply(states, (True, events[1]))
+        # Expression statements, assignments, asserts, etc.
+        events = (False, False)
+        for child in ast.iter_child_nodes(stmt):
+            t, c = self._expr_events(child)
+            events = (events[0] or t, events[1] or c)
+        return self._apply(states, events)
+
+
+def _local_closures(index: ProjectIndex, info: CallableInfo,
+                    node: ast.AST) -> Dict[str, Tuple[bool, bool]]:
+    """Existential (touches, charges) for closures defined in the body."""
+    events: Dict[str, Tuple[bool, bool]] = {}
+    for child in ast.walk(node):
+        if child is node or not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        touched = charged = False
+        for sub in ast.walk(child):
+            if isinstance(sub, ast.Call):
+                receiver, method = split_call(sub)
+                if method is None:
+                    continue
+                t, c = index.call_events(info, receiver, method)
+                touched = touched or t
+                charged = charged or c
+            elif isinstance(sub, ast.Assign) and _is_state_drop(sub):
+                touched = True
+        events[child.name] = (touched, charged)
+    return events
+
+
+@rule
+class CostAccountingRule(Rule):
+    rule_id = "cost-accounting"
+    description = (
+        "public engine methods that touch pages or logs must charge "
+        "Cpu/IoPath work on every non-raising path"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              config: LintConfig) -> Iterator[Finding]:
+        index = ProjectIndex(files)
+        for source in files:
+            if not scoped_to(source, COST_SCOPE_SEGMENTS):
+                continue
+            for node in source.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                methods = index.classes.get(node.name, {})
+                for item in node.body:
+                    if not isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if item.name.startswith("_"):
+                        continue
+                    if "property" in _decorators(item):
+                        continue
+                    info = methods.get(item.name)
+                    if info is None or info.source is not source:
+                        continue
+                    finding = self._check_method(index, info, source)
+                    if finding is not None:
+                        yield finding
+
+    def _check_method(self, index: ProjectIndex, info: CallableInfo,
+                      source: SourceFile) -> Optional[Finding]:
+        node = info.node
+        locals_ = _local_closures(index, info, node)
+        analyzer = _PathAnalyzer(index, info, locals_)
+        exits = analyzer.run(node.body)
+        if any(touched and not charged for touched, charged in exits):
+            return Finding(
+                path=source.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.rule_id,
+                message=(
+                    f"{info.qualname} touches pages/logs on a path that "
+                    "never charges the CpuModel or an IoPathModel; "
+                    "charge the work (machine.cpu.charge / "
+                    "io_path.charge_*) or suppress with "
+                    "# repro: ignore[cost-accounting]"
+                ),
+            )
+        return None
+
+
+def _decorators(node: ast.AST) -> List[str]:
+    names: List[str] = []
+    for decorator in getattr(node, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if isinstance(target, ast.Attribute):
+            names.append(target.attr)
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+    return names

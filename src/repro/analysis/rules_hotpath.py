@@ -1,0 +1,140 @@
+"""Hot-path hygiene: __slots__ on engine dataclasses, no mutable defaults.
+
+PR 1 measured the batched hot path at millions of simulated ops per
+run; per-record objects (deltas, log records, op results) dominate the
+allocator.  A dataclass without ``__slots__`` carries a ``__dict__`` per
+instance — ~3x the memory and a slower attribute load — so dataclasses
+in ``storage/``, ``bwtree/`` and ``deuteronomy/`` must declare slots
+(``@dataclass(slots=True)`` or an explicit ``__slots__``).
+
+Mutable default argument values (``def f(x=[])``) are the classic
+shared-state footgun and are banned everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from .core import (
+    HOTPATH_SCOPE_SEGMENTS,
+    Finding,
+    LintConfig,
+    Rule,
+    SourceFile,
+    iter_functions,
+    rule,
+    scoped_to,
+)
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _has_slots(node: ast.ClassDef, decorator: ast.AST) -> bool:
+    if isinstance(decorator, ast.Call):
+        for keyword in decorator.keywords:
+            if keyword.arg == "slots":
+                return (isinstance(keyword.value, ast.Constant)
+                        and bool(keyword.value.value))
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+@rule
+class SlotsDataclassRule(Rule):
+    rule_id = "slots-dataclass"
+    description = (
+        "dataclasses in storage/, bwtree/ and deuteronomy/ must declare "
+        "__slots__ (dataclass(slots=True))"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              config: LintConfig) -> Iterator[Finding]:
+        for source in files:
+            if not scoped_to(source, HOTPATH_SCOPE_SEGMENTS):
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                decorator = _dataclass_decorator(node)
+                if decorator is None:
+                    continue
+                if node.bases:
+                    # Slots + inheritance interact badly (duplicate
+                    # slots, layout conflicts); leave subclasses alone.
+                    continue
+                if _has_slots(node, decorator):
+                    continue
+                yield Finding(
+                    path=source.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.rule_id,
+                    message=(
+                        f"dataclass {node.name} is on the engine hot "
+                        "path but has no __slots__; use "
+                        "@dataclass(slots=True) to drop the per-"
+                        "instance __dict__"
+                    ),
+                )
+
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@rule
+class MutableDefaultRule(Rule):
+    rule_id = "mutable-default"
+    description = "no mutable default argument values"
+
+    def check(self, files: Sequence[SourceFile],
+              config: LintConfig) -> Iterator[Finding]:
+        for source in files:
+            for node in iter_functions(source.tree):
+                args = node.args
+                defaults = list(args.defaults) + [
+                    d for d in args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        yield Finding(
+                            path=source.path,
+                            line=default.lineno,
+                            col=default.col_offset,
+                            rule=self.rule_id,
+                            message=(
+                                f"{node.name}: mutable default argument "
+                                "value is shared across calls; default "
+                                "to None and create inside the body"
+                            ),
+                        )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            return (isinstance(func, ast.Name)
+                    and func.id in _MUTABLE_CALLS
+                    and not node.args and not node.keywords)
+        return False

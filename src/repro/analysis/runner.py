@@ -1,0 +1,88 @@
+"""Collect sources, run rules, filter suppressions, render findings."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List, Optional, Sequence, Set
+
+from .core import Finding, LintConfig, SourceFile, all_rules
+
+
+def collect_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: Set[str] = set()
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                if full not in seen:
+                    seen.add(full)
+                    out.append(full)
+    return sorted(out)
+
+
+def load_sources(paths: Iterable[str]) -> List[SourceFile]:
+    sources: List[SourceFile] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        sources.append(SourceFile(path=path, text=text))
+    return sources
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Set[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run every (selected) rule over ``paths`` and return findings.
+
+    Findings on lines carrying a matching ``# repro: ignore[rule-id]``
+    comment are dropped here, so rules never need to know about
+    suppression.
+    """
+    if config is None:
+        config = LintConfig(select=select)
+    files = load_sources(collect_python_files(paths))
+    findings: List[Finding] = []
+    for instance in all_rules():
+        if config.select is not None \
+                and instance.rule_id not in config.select:
+            continue
+        for finding in instance.check(files, config):
+            source = next(
+                (f for f in files if f.path == finding.path), None
+            )
+            if source is not None and source.is_suppressed(
+                finding.line, finding.rule
+            ):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def render_findings(findings: Sequence[Finding],
+                    fmt: str = "text") -> str:
+    if fmt == "json":
+        return json.dumps(
+            [finding.as_dict() for finding in findings], indent=2
+        )
+    lines = [finding.render() for finding in findings]
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)

@@ -9,7 +9,6 @@ absolute numbers.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -28,7 +27,7 @@ from ..core.mainmemory import MainMemoryComparison, paper_comparison
 from ..core.mixture import MixtureModel
 from ..hardware.iopath import IoPathKind
 from ..workloads.ycsb import WorkloadGenerator, WorkloadSpec
-from .reporting import format_series, format_table
+from .reporting import format_table
 
 
 # ----------------------------------------------------------------------

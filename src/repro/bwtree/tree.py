@@ -47,7 +47,7 @@ DRAM_TAG_INDEX = "bwtree_index"
 DRAM_TAG_MAPPING = "mapping_table"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BwTreeConfig:
     """Tuning knobs; defaults reproduce the paper's configuration."""
 
@@ -598,7 +598,11 @@ class BwTree:
         self._validate_key(start)
         emitted = 0
         for entry in self._leaves_from(start):
+            # Each leaf visit dispatches like a point read (the docstring
+            # contract above), so it owes the same dispatch + epoch CPU.
             self.machine.begin_operation()
+            self.machine.cpu.charge("op_dispatch", category="bwtree")
+            self.machine.cpu.charge("epoch_protect", category="bwtree")
             self.cache.touch(entry)
             if entry.state is None or not entry.state.base_present:
                 ios = self.cache.fetch(entry)

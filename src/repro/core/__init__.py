@@ -9,6 +9,11 @@
 * :mod:`calibration` — measuring the model's inputs from the simulator
 """
 
+from .adaptive import (
+    AdaptiveCacheController,
+    PacedDriver,
+    PacedPhaseStats,
+)
 from .breakeven import (
     BreakevenReport,
     breakeven_interval_seconds,
@@ -35,6 +40,7 @@ from .calibration import (
     run_measurement,
 )
 from .catalog import CostCatalog
+from .costmeter import CostBill, meter_bill
 from .costmodel import (
     CssParameters,
     OperationCost,
@@ -51,12 +57,6 @@ from .mixture import (
     mixed_throughput,
     relative_performance,
 )
-from .adaptive import (
-    AdaptiveCacheController,
-    PacedDriver,
-    PacedPhaseStats,
-)
-from .costmeter import CostBill, meter_bill
 from .sensitivity import (
     PriceTrends,
     breakeven_trajectory,

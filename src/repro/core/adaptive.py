@@ -15,8 +15,8 @@ inter-arrival think time (see :class:`PacedDriver`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from ..bwtree.tree import BwTree
 from ..hardware.machine import Machine
@@ -111,7 +111,9 @@ class PacedDriver:
         self.controller = controller
         self.phases: List[PacedPhaseStats] = []
 
-    def run_phase(self, name: str, keys, values=None) -> PacedPhaseStats:
+    def run_phase(self, name: str, keys: Iterable[bytes],
+                  values: Optional[Iterable[bytes]] = None
+                  ) -> PacedPhaseStats:
         """Execute one phase: a read (or upsert) per key with think time.
 
         ``keys`` is an iterable of keys to read; when ``values`` is given

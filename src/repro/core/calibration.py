@@ -50,7 +50,7 @@ class StackConfig:
     # of the bottleneck.  ``None`` keeps the paper's SSD spec.
     ssd_iops_override: Optional[float] = None
 
-    def replace(self, **overrides) -> "StackConfig":
+    def replace(self, **overrides: object) -> "StackConfig":
         """A copy with selected fields changed."""
         from dataclasses import replace as dc_replace
         return dc_replace(self, **overrides)

@@ -14,7 +14,7 @@ All values carry the paper's implicit 1/L factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from .catalog import CostCatalog
 
@@ -126,7 +126,7 @@ class OperationCostModel:
         return min(candidates, key=lambda cost: cost.total)
 
     def curves(self, rates: Sequence[float],
-               include_css: bool = False) -> dict:
+               include_css: bool = False) -> Dict[str, List[float]]:
         """Cost series per operation class over ``rates`` (Figures 2/7/8)."""
         result = {
             "rates": list(rates),

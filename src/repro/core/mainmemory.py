@@ -18,7 +18,7 @@ before MassTree's faster-but-fatter design wins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 from .catalog import CostCatalog
 
@@ -80,7 +80,7 @@ class MainMemoryComparison:
                 + rate_ops_per_sec * cat.mm_execution_cost_per_op / self.px)
 
     def curves(self, rates: Sequence[float],
-               database_bytes: float) -> dict:
+               database_bytes: float) -> Dict[str, List[float]]:
         """Cost series for both systems over access rates (Figure 3)."""
         return {
             "rates": list(rates),

@@ -52,7 +52,7 @@ class TransactionAborted(RuntimeError):
     """Raised when commit fails a conflict check."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TcConfig:
     """TC sizing knobs."""
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import bisect
 import zlib
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 BLOCK_BYTES = 4096
 SSTABLE_RECORD_OVERHEAD_BYTES = 16

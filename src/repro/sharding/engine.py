@@ -283,6 +283,19 @@ class ShardedEngine:
         parallel, so the slowest shard bounds fleet virtual time.
         """
         per_shard = [shard.stats() for shard in self.shards]
+        if __debug__:
+            # Runtime twin of the counter-additivity lint: every key we
+            # are about to sum must exist in every shard's stats() dict,
+            # or the fleet totals silently under-count.
+            for index, stats in enumerate(per_shard):
+                missing = [
+                    key for key in _ADDITIVE_STAT_KEYS
+                    if key not in stats
+                ]
+                assert not missing, (
+                    f"shard {index} stats() is missing additive keys "
+                    f"{missing}; fleet sums would under-count"
+                )
         fleet = {
             key: sum(stats[key] for stats in per_shard)
             for key in _ADDITIVE_STAT_KEYS

@@ -101,7 +101,9 @@ class PageCache:
 
     # --- residency accounting ---------------------------------------------
 
-    def register(self, entry: PageEntry) -> None:
+    # Pure residency bookkeeping: the callers that make a page resident
+    # (fetch / install_base) charge page_install for this pointer work.
+    def register(self, entry: PageEntry) -> None:  # repro: ignore[cost-accounting]
         """Start tracking a page that just became resident."""
         if entry.page_id in self._resident:
             raise ValueError(f"page {entry.page_id} already tracked")
@@ -252,6 +254,22 @@ class PageCache:
             self._untrack(entry)
         self.stats.evictions += 1
 
+    def _drop_delta_only(self, entry: PageEntry) -> None:
+        """Fully drop a page whose base is already evicted.
+
+        Record-cache retention leaves delta-only pages resident; pushing
+        one out is still an eviction and owes the same bookkeeping CPU
+        as :meth:`evict` (PAPER.md: every operation's core-seconds are
+        charged, including cache maintenance).
+        """
+        assert entry.state is not None
+        if entry.state.has_unflushed_changes:
+            self.flush_page(entry)
+        self.machine.cpu.charge("evict_bookkeeping", category="cache")
+        entry.state = None
+        self._untrack(entry)
+        self.stats.evictions += 1
+
     def _victims(self, protect: Set[int]) -> Iterable[int]:
         if self.policy is EvictionPolicy.CLOCK:
             yield from self._clock_victims(protect)
@@ -326,11 +344,7 @@ class PageCache:
             # still over budget those delta-only pages are next in line and
             # get dropped entirely on a second pass.
             if not entry.state.base_present:
-                if entry.state.has_unflushed_changes:
-                    self.flush_page(entry)
-                entry.state = None
-                self._untrack(entry)
-                self.stats.evictions += 1
+                self._drop_delta_only(entry)
             else:
                 self.evict(entry)
             evicted += 1
@@ -356,11 +370,7 @@ class PageCache:
                 if entry.state.base_present:
                     self.evict(entry)
                 else:
-                    if entry.state.has_unflushed_changes:
-                        self.flush_page(entry)
-                    entry.state = None
-                    self._untrack(entry)
-                    self.stats.evictions += 1
+                    self._drop_delta_only(entry)
                 evicted += 1
         return evicted
 

@@ -25,7 +25,7 @@ CHECKPOINT_PAGE_BYTES = 16       # page id + chain length
 CHECKPOINT_ADDR_BYTES = 24       # segment id + offset + length
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CheckpointImage:
     """A persisted snapshot of the mapping table's flash locations.
 

@@ -15,10 +15,10 @@ from typing import Optional
 
 from ..hardware.machine import Machine
 from .log_store import LogStructuredStore
-from .mapping_table import FlashAddr, MappingTable
+from .mapping_table import MappingTable
 
 
-@dataclass
+@dataclass(slots=True)
 class GcStats:
     """Cumulative cleaner activity."""
 

@@ -21,7 +21,7 @@ from .mapping_table import FlashAddr
 from .pages import PageImage
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentInfo:
     """Occupancy bookkeeping for one flushed log segment."""
 
@@ -38,7 +38,7 @@ class SegmentInfo:
         return self.live_bytes / self.total_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadResult:
     """One image read back from the store, with how it was served."""
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional
+from typing import List
 
 
 class KeyChooser:

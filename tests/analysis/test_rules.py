@@ -1,0 +1,361 @@
+"""Per-rule unit tests on synthetic snippets.
+
+Each rule gets the same trio: a *positive* snippet that must be
+flagged, the identical snippet with a ``# repro: ignore[rule-id]``
+suppression that must stay silent, and a *negative* snippet that is
+clean by construction.  Snippets are written to a temporary directory,
+which is outside the repro tree — the package-scoping convention then
+applies every rule to them regardless of directory names.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.analysis import Finding, lint_paths
+
+
+def _lint_snippet(tmp_path: Path, code: str, rule_id: str,
+                  filename: str = "snippet.py") -> List[Finding]:
+    target = tmp_path / filename
+    target.write_text(code)
+    return [
+        finding for finding in lint_paths([str(tmp_path)])
+        if finding.rule == rule_id
+    ]
+
+
+# ---------------------------------------------------------------------------
+# cost-accounting
+# ---------------------------------------------------------------------------
+
+COST_POSITIVE = """\
+class PageStore:
+    def __init__(self, machine):
+        self.machine = machine
+        self.pages = {}
+
+    def fetch(self, page_id):
+        self.machine.cpu.charge("page_read", category="store")
+        return self.pages[page_id]
+
+
+class Engine:
+    def __init__(self, machine):
+        self.machine = machine
+        self.store = PageStore(machine)
+
+    def lookup(self, page_id):
+        if page_id in self.store.pages:
+            page = self.store.fetch(page_id)
+            return page
+        entry = self.store.pages.get(page_id)
+        if entry is not None:
+            entry.state = None
+        return entry
+"""
+
+
+class TestCostAccounting:
+    RULE = "cost-accounting"
+
+    def test_uncharged_touch_path_is_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, COST_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "Engine.lookup" in finding.message
+        # Points at the def line of the offending method.
+        assert finding.line == COST_POSITIVE.splitlines().index(
+            "    def lookup(self, page_id):"
+        ) + 1
+
+    def test_suppression_silences(self, tmp_path):
+        suppressed = COST_POSITIVE.replace(
+            "def lookup(self, page_id):",
+            "def lookup(self, page_id):  # repro: ignore[cost-accounting]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_charging_every_path_is_clean(self, tmp_path):
+        clean = COST_POSITIVE.replace(
+            "    def lookup(self, page_id):\n",
+            "    def lookup(self, page_id):\n"
+            "        self.machine.cpu.charge(\"op_dispatch\")\n",
+        )
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
+    def test_raise_paths_are_exempt(self, tmp_path):
+        code = COST_POSITIVE.replace(
+            "        entry = self.store.pages.get(page_id)\n"
+            "        if entry is not None:\n"
+            "            entry.state = None\n"
+            "        return entry\n",
+            "        raise KeyError(page_id)\n",
+        ).replace(
+            "            page = self.store.fetch(page_id)\n"
+            "            return page\n",
+            "            return self.store.fetch(page_id)\n",
+        )
+        assert not _lint_snippet(tmp_path, code, self.RULE)
+
+    def test_charge_through_callee_counts(self, tmp_path):
+        # store.fetch charges internally, so a method whose only touch
+        # is that call is clean — the call graph credits the callee.
+        code = COST_POSITIVE.replace(
+            "        entry = self.store.pages.get(page_id)\n"
+            "        if entry is not None:\n"
+            "            entry.state = None\n"
+            "        return entry\n",
+            "        return self.store.fetch(page_id)\n",
+        )
+        assert not _lint_snippet(tmp_path, code, self.RULE)
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+DETERMINISM_POSITIVE = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+
+class TestDeterminism:
+    RULE = "determinism"
+
+    def test_wall_clock_read_is_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, DETERMINISM_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+        assert findings[0].line == 5
+
+    def test_suppression_silences(self, tmp_path):
+        suppressed = DETERMINISM_POSITIVE.replace(
+            "return time.time()",
+            "return time.time()  # repro: ignore[determinism]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_virtual_clock_is_clean(self, tmp_path):
+        clean = """\
+def stamp(machine):
+    return machine.clock.now
+"""
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
+    @pytest.mark.parametrize("code,fragment", [
+        ("from time import perf_counter\n", "from time import"),
+        ("import datetime\n\n\ndef f():\n"
+         "    return datetime.datetime.now()\n", "now"),
+        ("from datetime import datetime\n\n\ndef f():\n"
+         "    return datetime.utcnow()\n", "utcnow"),
+        ("import random\n\n\ndef f():\n"
+         "    return random.randint(0, 1)\n", "random.randint"),
+        ("from random import Random\n\n\ndef f():\n"
+         "    return Random()\n", "unseeded"),
+    ])
+    def test_banned_forms(self, tmp_path, code, fragment):
+        findings = _lint_snippet(tmp_path, code, self.RULE)
+        assert findings, code
+        assert fragment in findings[0].message
+
+    def test_seeded_random_is_clean(self, tmp_path):
+        clean = """\
+from random import Random
+
+
+def make_rng(seed):
+    return Random(seed)
+"""
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
+    def test_bench_directory_is_exempt(self, tmp_path):
+        bench = tmp_path / "repro" / "bench"
+        bench.mkdir(parents=True)
+        (bench / "timing.py").write_text(DETERMINISM_POSITIVE)
+        findings = [
+            f for f in lint_paths([str(tmp_path)])
+            if f.rule == self.RULE
+        ]
+        assert not findings
+
+
+# ---------------------------------------------------------------------------
+# slots-dataclass
+# ---------------------------------------------------------------------------
+
+SLOTS_POSITIVE = """\
+from dataclasses import dataclass
+
+
+@dataclass
+class HotRecord:
+    key: bytes
+    value: bytes
+"""
+
+
+class TestSlotsDataclass:
+    RULE = "slots-dataclass"
+
+    def test_missing_slots_is_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, SLOTS_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "HotRecord" in findings[0].message
+
+    def test_suppression_silences(self, tmp_path):
+        suppressed = SLOTS_POSITIVE.replace(
+            "class HotRecord:",
+            "class HotRecord:  # repro: ignore[slots-dataclass]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_slots_kwarg_is_clean(self, tmp_path):
+        clean = SLOTS_POSITIVE.replace(
+            "@dataclass", "@dataclass(slots=True)"
+        )
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
+    def test_explicit_slots_assignment_is_clean(self, tmp_path):
+        clean = SLOTS_POSITIVE.replace(
+            "    key: bytes\n",
+            "    __slots__ = (\"key\", \"value\")\n    key: bytes\n",
+        )
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
+    def test_subclasses_are_skipped(self, tmp_path):
+        # Slots + inheritance interact badly; the rule leaves subclasses
+        # to human judgement.
+        code = SLOTS_POSITIVE.replace(
+            "class HotRecord:", "class HotRecord(Base):"
+        )
+        assert not _lint_snippet(tmp_path, code, self.RULE)
+
+
+# ---------------------------------------------------------------------------
+# mutable-default
+# ---------------------------------------------------------------------------
+
+MUTABLE_POSITIVE = """\
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+"""
+
+
+class TestMutableDefault:
+    RULE = "mutable-default"
+
+    def test_list_default_is_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, MUTABLE_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "collect" in findings[0].message
+
+    def test_suppression_silences(self, tmp_path):
+        suppressed = MUTABLE_POSITIVE.replace(
+            "def collect(item, bucket=[]):",
+            "def collect(item, bucket=[]):  # repro: ignore[mutable-default]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_none_default_is_clean(self, tmp_path):
+        clean = """\
+def collect(item, bucket=None):
+    bucket = bucket if bucket is not None else []
+    bucket.append(item)
+    return bucket
+"""
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
+    @pytest.mark.parametrize("default", ["{}", "set()", "dict()", "list()"])
+    def test_other_mutable_defaults(self, tmp_path, default):
+        code = f"def f(x={default}):\n    return x\n"
+        assert _lint_snippet(tmp_path, code, self.RULE)
+
+    def test_frozen_defaults_are_clean(self, tmp_path):
+        code = "def f(x=(), y=0, z=\"s\", w=frozenset()):\n    return x\n"
+        assert not _lint_snippet(tmp_path, code, self.RULE)
+
+
+# ---------------------------------------------------------------------------
+# counter-additivity
+# ---------------------------------------------------------------------------
+
+ADDITIVITY_POSITIVE = """\
+class Shard:
+    def stats(self):
+        return {"operations": 1, "commits": 2}
+
+
+_ADDITIVE_STAT_KEYS = (
+    "operations",
+    "commits",
+    "aborts",
+)
+
+
+class Fleet:
+    def __init__(self, shards):
+        self.shards = shards
+
+    def stats(self):
+        per_shard = [shard.stats() for shard in self.shards]
+        return {
+            key: sum(stats[key] for stats in per_shard)
+            for key in _ADDITIVE_STAT_KEYS
+        }
+"""
+
+
+class TestCounterAdditivity:
+    RULE = "counter-additivity"
+
+    def test_missing_provider_key_is_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, ADDITIVITY_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "'aborts'" in finding.message
+        assert "Shard" in finding.message
+        # Points at the tuple element that has no backing counter.
+        assert finding.line == ADDITIVITY_POSITIVE.splitlines().index(
+            "    \"aborts\","
+        ) + 1
+
+    def test_suppression_silences(self, tmp_path):
+        suppressed = ADDITIVITY_POSITIVE.replace(
+            "    \"aborts\",",
+            "    \"aborts\",  # repro: ignore[counter-additivity]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_complete_provider_is_clean(self, tmp_path):
+        clean = ADDITIVITY_POSITIVE.replace(
+            "return {\"operations\": 1, \"commits\": 2}",
+            "return {\"operations\": 1, \"commits\": 2, \"aborts\": 3}",
+        )
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
+    def test_imported_provider_is_checked(self, tmp_path):
+        (tmp_path / "shard.py").write_text(
+            "class Shard:\n"
+            "    def stats(self):\n"
+            "        return {\"operations\": 1}\n"
+        )
+        (tmp_path / "fleet.py").write_text(
+            "from shard import Shard\n\n"
+            "_ADDITIVE_STAT_KEYS = (\"operations\", \"commits\")\n"
+        )
+        findings = [
+            f for f in lint_paths([str(tmp_path)])
+            if f.rule == self.RULE
+        ]
+        assert len(findings) == 1
+        assert "'commits'" in findings[0].message
+        assert findings[0].path.endswith("fleet.py")

@@ -1,0 +1,39 @@
+"""Gate tests for the external toolchain (ruff, mypy).
+
+Both tools are CI-installed via the ``lint`` extra; local environments
+without them skip these tests rather than fail, so the tier-1 suite
+stays runnable from a bare checkout.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run(tool: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [tool, *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed (CI installs the lint extra)")
+def test_ruff_is_clean():
+    result = _run("ruff", "check", "src", "tests")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed (CI installs the lint extra)")
+def test_mypy_strict_core_and_hardware():
+    result = _run("mypy")
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,8 +1,7 @@
 """Codec round-trips, ratios, charging, and corpus measurement."""
 
-import pytest
-
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.compression import (

@@ -1,8 +1,7 @@
 """Equation 6: the updated five-minute rule and its sensitivities."""
 
-import pytest
-
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core import (

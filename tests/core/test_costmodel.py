@@ -1,8 +1,7 @@
 """Equations 4-5 pricing and the CSS extension."""
 
-import pytest
-
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core import (

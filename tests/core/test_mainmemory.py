@@ -1,8 +1,7 @@
 """Equations 7-8: the Bw-tree vs MassTree comparison."""
 
-import pytest
-
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core import CostCatalog, MainMemoryComparison, paper_comparison

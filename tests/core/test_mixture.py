@@ -1,8 +1,7 @@
 """Equations 1-3 and the R-derivation machinery."""
 
-import pytest
-
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core import (

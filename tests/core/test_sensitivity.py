@@ -1,8 +1,7 @@
 """Price-trend projection and sensitivity sweeps."""
 
-import pytest
-
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core import (

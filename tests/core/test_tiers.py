@@ -1,8 +1,7 @@
 """Tier selection and cost-optimal cache sizing."""
 
-import pytest
-
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core import (

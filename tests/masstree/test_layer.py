@@ -1,6 +1,5 @@
 """LayerTree (single-layer B+-tree) behaviour."""
 
-import pytest
 
 from repro.masstree import LayerTree, slice_of
 from repro.masstree.layer import FANOUT, LAYER_MARKER, NODE_BYTES, slab_bytes

@@ -8,7 +8,6 @@ from repro.storage import (
     LogStructuredStore,
     MappingTable,
     PageCache,
-    PageImage,
     Record,
 )
 
