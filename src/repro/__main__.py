@@ -70,6 +70,10 @@ def main(argv=None) -> int:
         # Domain static analysis subcommand (repro.analysis).
         from .analysis.cli import main as lint_main
         return lint_main(list(argv[1:]))
+    if argv and argv[0] == "crash-matrix":
+        # Deterministic fault-injection crash matrix (repro.faults).
+        from .faults.matrix import main as crash_matrix_main
+        return crash_matrix_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -85,7 +89,9 @@ def main(argv=None) -> int:
               "the sharded scatter/gather sweep "
               "(see 'bench-engine --help', '--shards N' for a "
               "sharded-only run); 'lint' runs the domain static "
-              "checks (see 'lint --help')"),
+              "checks (see 'lint --help'); 'crash-matrix' runs the "
+              "deterministic fault-injection recovery matrix "
+              "(see 'crash-matrix --help')"),
     )
     args = parser.parse_args(argv)
 

@@ -54,6 +54,12 @@ DOMAIN_TOUCH_VERBS = frozenset({
     "replay_redo",
     "apply_blind_batch",
     "touch",
+    # Fault-injection hooks: arriving at a fault site, running a
+    # retry-wrapped device access, or reclaiming deferred GC drops is
+    # always real storage-path work and must carry a cost charge.
+    "hit",
+    "run_with_retries",
+    "drop_pending",
 })
 
 #: Generic verbs that count as touches only with a store-like receiver.

@@ -725,16 +725,22 @@ class BwTree:
         self.checkpoints.write_checkpoint()
 
     def collect_garbage(self, target_utilization: float = 0.8) -> int:
-        """Checkpoint, clean segments, and re-checkpoint.
+        """Checkpoint, clean segments, re-checkpoint, then reclaim.
 
         Cleaning relocates images, so the persisted mapping-table snapshot
-        must be rewritten afterwards or recovery would chase dropped
-        addresses.  Returns the number of segments cleaned.
+        must reference the new locations before the old ones disappear:
+        victims are cleaned with deferred drops, a fresh checkpoint makes
+        the relocated chains durable, and only then are the emptied
+        segments reclaimed.  A crash at any intermediate point leaves a
+        durable checkpoint whose chains are all still on flash (the
+        crash-matrix invariant).  Returns the number of segments cleaned.
         """
         self.checkpoint()
-        cleaned = self.gc.run_until_utilization(target_utilization)
+        cleaned = self.gc.run_until_utilization(target_utilization,
+                                                defer_drop=True)
         if cleaned:
             self.checkpoint()
+        self.gc.drop_pending()
         return cleaned
 
     # ------------------------------------------------------------------

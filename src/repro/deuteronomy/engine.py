@@ -169,6 +169,22 @@ class DeuteronomyEngine:
         self.tc.log.flush()
         self.dc.checkpoint()
 
+    def collect_garbage(self, target_utilization: float = 0.8) -> int:
+        """Run segment GC with write-ahead ordering preserved.
+
+        ``BwTree.collect_garbage`` checkpoints the mapping table before
+        and after cleaning; the recovery contract (checkpoint image +
+        durable-redo replay lands exactly on the durable prefix)
+        requires every checkpoint image's contents to be covered by the
+        durable log.  Forcing the log first keeps that true — calling
+        ``dc.collect_garbage`` directly would let a checkpoint publish
+        page states whose redo records are still buffered, and recovery
+        would then serve writes the log never made durable (the WAL
+        inversion the crash matrix's GC sites catch).
+        """
+        self.tc.log.flush()
+        return self.dc.collect_garbage(target_utilization)
+
     def stats(self) -> dict:
         """One engine's cost/cache accounting as a flat dict.
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..faults.retry import RetryStats, run_with_retries
 from ..hardware.machine import Machine
 
 DRAM_TAG = "tc_recovery_log"
@@ -40,6 +41,11 @@ class _Buffer:
     records: List[LogRecord] = field(default_factory=list)
     nbytes: int = 0
     flushed: bool = False
+    # How many of ``records`` already reached the durable log: a crash
+    # (or exhausted retry) between the device ack and the ``flushed``
+    # bookkeeping leaves this ahead of ``flushed``, and a re-flush of
+    # the same buffer must not duplicate durable records.
+    durable_upto: int = 0
 
 
 class RecoveryLog:
@@ -63,6 +69,7 @@ class RecoveryLog:
         self.appended_records = 0
         self.batch_appends = 0
         self.dropped_buffers = 0
+        self.retry_stats = RetryStats()
         # Records whose buffer reached the SSD: the durable redo log that
         # survives a crash (the in-memory retained copies do not).
         self.durable_records: List[LogRecord] = []
@@ -141,10 +148,28 @@ class RecoveryLog:
         current = self._buffers[-1]
         if not current.records:
             return None
-        self.machine.io_path.charge_round_trip(current.nbytes)
-        self.machine.ssd.write(current.nbytes)
+        faults = self.machine.faults
+
+        def write_buffer() -> None:
+            # Charges live inside the attempt: a transient device error
+            # re-pays the I/O round trip on every retry.
+            self.machine.io_path.charge_round_trip(current.nbytes)
+            if faults is not None:
+                faults.hit("recovery_log.flush")
+            self.machine.ssd.write(current.nbytes)
+
+        run_with_retries(self.machine, write_buffer, stats=self.retry_stats)
+        # The device ack is the durability point: these records survive a
+        # crash from here on even if the bookkeeping below never runs
+        # (the recovery_log.flush.after_write crash window).  Recovery
+        # reads ``durable_records``, so a buffer that is durable on flash
+        # but never marked ``flushed`` still replays — and replays once:
+        # ``durable_upto`` keeps a re-flush from duplicating records.
+        self.durable_records.extend(current.records[current.durable_upto:])
+        current.durable_upto = len(current.records)
+        if faults is not None:
+            faults.hit("recovery_log.flush.after_write")
         current.flushed = True
-        self.durable_records.extend(current.records)
         self.flushes += 1
         self._buffers.append(_Buffer(self._next_buffer_id))
         self._next_buffer_id += 1

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and crash-matrix exploration.
+
+Import surface is the plan/retry layer only; the crash-matrix runner
+(:mod:`repro.faults.matrix`) imports the engines and is loaded lazily
+by the CLI so storage/TC modules can import this package without
+cycles.
+"""
+
+from .plan import (
+    FAULT_SITES,
+    CrashError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    FaultSite,
+    IoError,
+    describe_sites,
+)
+from .retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    RetryStats,
+    run_with_retries,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "CrashError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSite",
+    "IoError",
+    "describe_sites",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "RetryStats",
+    "run_with_retries",
+]

@@ -1,0 +1,551 @@
+"""Crash-matrix explorer: every fault site, every hit, one oracle.
+
+``python -m repro crash-matrix`` drives a seeded YCSB trace (with
+periodic checkpoints and garbage collection, so the checkpoint and GC
+sites actually fire) against a single engine and against a sharded
+fleet.  For each scenario it first runs the trace under a counting-only
+injector to learn how often every registered fault site is hit, then
+for every (site, hit-index) pair re-runs the identical trace, crashes
+at exactly that machine state, recovers through the existing recovery
+paths, and checks the recovered store against a durable-prefix oracle:
+
+* **durable prefix** — for every key, the recovered value equals the
+  value of its last *durable* committed write (the redo records that
+  had reached flash at the crash, over the bulk-loaded baseline); a
+  stale value means GC resurrected a dead image, a missing one means a
+  committed-and-flushed write was lost;
+* **no lost checkpoint** — recovery itself must succeed: a
+  ``RecoveryError`` means a crash window destroyed the only live
+  checkpoint image (or left the durable one referencing dropped flash);
+* **accounting still additive** — the recovered engine's ``stats()``
+  must keep the counter-additivity contract (fleet sums equal per-shard
+  sums for every additive key).
+
+Hit indices above ``max_hits_per_site`` are sampled deterministically
+(first, last, evenly spaced between), and the report says so — a capped
+matrix never silently claims exhaustiveness.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bwtree.tree import BwTreeConfig
+from ..deuteronomy.engine import DeuteronomyEngine
+from ..deuteronomy.tc import TcConfig
+from ..hardware.machine import Machine
+from ..sharding.engine import ShardedEngine, _ADDITIVE_STAT_KEYS
+from ..workloads.ycsb import OpKind, WorkloadGenerator, WorkloadSpec
+from .plan import (
+    FAULT_SITES,
+    CrashError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+)
+from .retry import RetryStats
+
+Op = Tuple[str, bytes, Optional[bytes]]
+
+SCENARIOS = ("engine", "sharded")
+
+
+@dataclass(frozen=True)
+class MatrixConfig:
+    """One crash-matrix run: trace shape, engine sizing, sampling."""
+
+    seed: int = 0
+    ops: int = 2000
+    records: int = 320
+    value_bytes: int = 64
+    #: every Nth write becomes a delete (0 disables), so the oracle also
+    #: covers tombstones.
+    delete_every: int = 11
+    checkpoint_every: int = 250
+    gc_every: int = 600
+    gc_target: float = 0.85
+    batch_size: int = 24
+    shards: int = 2
+    cores: int = 2
+    max_hits_per_site: int = 6
+    segment_bytes: int = 1 << 13
+    cache_capacity_bytes: int = 20 << 10
+    log_buffer_bytes: int = 2 << 10
+    scenarios: Tuple[str, ...] = SCENARIOS
+
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "MatrixConfig":
+        """CI-sized: small trace, every site, one hit each."""
+        return cls(
+            seed=seed, ops=240, records=96, checkpoint_every=60,
+            gc_every=150, batch_size=16, max_hits_per_site=1,
+        )
+
+
+@dataclass(slots=True)
+class CaseResult:
+    """Outcome of one (scenario, site, hit) crash-and-recover run."""
+
+    scenario: str
+    site: str
+    hit: int
+    crashed: bool = False
+    recovered: bool = False
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed and self.recovered and not self.violations
+
+
+@dataclass
+class MatrixReport:
+    """Everything one matrix run learned, renderable for the CLI."""
+
+    config: MatrixConfig
+    cases: List[CaseResult]
+    hit_counts: Dict[str, Dict[str, int]]
+    sampled_sites: Dict[str, List[str]]
+    noise_retries: Optional[int] = None
+
+    @property
+    def uncovered_sites(self) -> List[str]:
+        """Registered sites no scenario ever hit — a coverage hole."""
+        covered = set()
+        for counts in self.hit_counts.values():
+            covered.update(site for site, n in counts.items() if n > 0)
+        return [site for site in FAULT_SITES if site not in covered]
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [case for case in self.cases if not case.ok]
+
+    @property
+    def total_violations(self) -> int:
+        return len(self.failures) + len(self.uncovered_sites)
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def render(self) -> str:
+        lines = []
+        for scenario in self.config.scenarios:
+            counts = self.hit_counts.get(scenario, {})
+            lines.append(f"scenario {scenario}:")
+            for site in FAULT_SITES:
+                n = counts.get(site, 0)
+                ran = sum(1 for c in self.cases
+                          if c.scenario == scenario and c.site == site)
+                bad = sum(1 for c in self.cases
+                          if c.scenario == scenario and c.site == site
+                          and not c.ok)
+                sampled = (" (sampled)"
+                           if site in self.sampled_sites.get(scenario, [])
+                           else "")
+                status = "FAIL" if bad else ("ok" if ran else "-")
+                lines.append(
+                    f"  {site:34s} hits={n:4d} cases={ran:3d}"
+                    f" {status}{sampled}"
+                )
+        if self.noise_retries is not None:
+            lines.append(
+                f"transient-noise pass: {self.noise_retries} retries "
+                "charged, final state verified"
+            )
+        for site in self.uncovered_sites:
+            lines.append(f"VIOLATION: site {site} never hit by any scenario")
+        for case in self.failures:
+            head = (f"VIOLATION: {case.scenario} {case.site} "
+                    f"hit {case.hit}: ")
+            if not case.crashed:
+                lines.append(head + "scheduled crash never fired")
+            elif not case.recovered:
+                lines.append(head + (case.violations[0] if case.violations
+                                     else "recovery failed"))
+            else:
+                for violation in case.violations[:4]:
+                    lines.append(head + violation)
+        lines.append(
+            f"crash matrix: {len(self.cases)} cases, "
+            f"{self.total_violations} violations"
+        )
+        return "\n".join(lines)
+
+
+# --- trace construction ---------------------------------------------------
+
+
+def build_trace(config: MatrixConfig) -> Tuple[Dict[bytes, bytes], List[Op]]:
+    """The seeded baseline load and operation list, built once per run."""
+    spec = WorkloadSpec.ycsb_a(
+        record_count=config.records,
+        value_bytes=config.value_bytes,
+        seed=config.seed,
+    )
+    generator = WorkloadGenerator(spec)
+    baseline = dict(generator.load_items())
+    ops: List[Op] = []
+    writes = 0
+    for operation in generator.operations(config.ops):
+        if operation.kind is OpKind.READ:
+            ops.append(("get", operation.key, None))
+            continue
+        writes += 1
+        if config.delete_every and writes % config.delete_every == 0:
+            ops.append(("delete", operation.key, None))
+        else:
+            ops.append(("put", operation.key, operation.value))
+    return baseline, ops
+
+
+# --- scenario plumbing ----------------------------------------------------
+
+
+def _tree_config(config: MatrixConfig) -> BwTreeConfig:
+    return BwTreeConfig(
+        segment_bytes=config.segment_bytes,
+        cache_capacity_bytes=config.cache_capacity_bytes,
+    )
+
+
+def _tc_config(config: MatrixConfig) -> TcConfig:
+    return TcConfig(log_buffer_bytes=config.log_buffer_bytes)
+
+
+def _build(scenario: str, config: MatrixConfig,
+           injector: FaultInjector):
+    """A fresh engine (or fleet) with every machine sharing ``injector``."""
+    if scenario == "engine":
+        machine = Machine.paper_default(cores=config.cores)
+        machine.faults = injector
+        return DeuteronomyEngine(
+            machine,
+            tree_config=_tree_config(config),
+            tc_config=_tc_config(config),
+        )
+    if scenario == "sharded":
+        def factory() -> Machine:
+            machine = Machine.paper_default(cores=config.cores)
+            machine.faults = injector
+            return machine
+
+        return ShardedEngine(
+            config.shards,
+            tree_config=_tree_config(config),
+            tc_config=_tc_config(config),
+            machine_factory=factory,
+            faults=injector,
+        )
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def _setup(scenario: str, engine, baseline: Dict[bytes, bytes]) -> None:
+    """Load the baseline and take the first checkpoint (faults disarmed)."""
+    items = sorted(baseline.items())
+    if scenario == "engine":
+        engine.dc.bulk_load(items)
+    else:
+        engine.bulk_load(items)
+    engine.checkpoint()
+
+
+def _drive(scenario: str, engine, ops: Sequence[Op],
+           config: MatrixConfig) -> None:
+    """Replay the trace with periodic checkpoints and GC passes."""
+    if scenario == "engine":
+        for index, (kind, key, value) in enumerate(ops, start=1):
+            if kind == "get":
+                engine.get(key)
+            elif kind == "put":
+                engine.put(key, value)
+            else:
+                engine.delete(key)
+            if index % config.checkpoint_every == 0:
+                engine.checkpoint()
+            if index % config.gc_every == 0:
+                engine.collect_garbage(config.gc_target)
+        return
+    done = 0
+    for start in range(0, len(ops), config.batch_size):
+        batch = list(ops[start:start + config.batch_size])
+        engine.apply_batch(batch)
+        before, done = done, done + len(batch)
+        if done // config.checkpoint_every != before // config.checkpoint_every:
+            engine.checkpoint()
+        if done // config.gc_every != before // config.gc_every:
+            for shard in engine.shards:
+                shard.collect_garbage(config.gc_target)
+
+
+def _shard_engines(scenario: str, engine) -> List[DeuteronomyEngine]:
+    return [engine] if scenario == "engine" else list(engine.shards)
+
+
+def _durable_view(shards: Sequence[DeuteronomyEngine],
+                  baseline: Dict[bytes, bytes]) -> Dict[bytes, bytes]:
+    """What a correct recovery must serve: the last durable value per key.
+
+    Recovery is checkpoint image + full durable-log replay, and every
+    durable checkpoint's content is covered by the durable log (the log
+    is forced before pages are checkpointed), so the durable floor and
+    ceiling coincide: exactly the last durable record per key, over the
+    bulk-loaded baseline for never-durably-written keys.
+    """
+    expected = dict(baseline)
+    for shard in shards:
+        for record in shard.tc.log.durable_records:
+            if record.value is None:
+                expected.pop(record.key, None)
+            else:
+                expected[record.key] = record.value
+    return expected
+
+
+def _check_oracle(scenario: str, recovered,
+                  expected: Dict[bytes, bytes],
+                  keys: Sequence[bytes]) -> List[str]:
+    violations: List[str] = []
+    for key in keys:
+        want = expected.get(key)
+        got = recovered.get(key)
+        if got != want:
+            violations.append(
+                f"key {key!r}: recovered {got!r} != durable {want!r}"
+            )
+            if len(violations) >= 8:
+                violations.append("... further key mismatches elided")
+                break
+    stats = recovered.stats()
+    if scenario == "sharded":
+        fleet = stats["fleet"]
+        per_shard = stats["per_shard"]
+        for stat_key in _ADDITIVE_STAT_KEYS:
+            total = sum(shard_stats[stat_key] for shard_stats in per_shard)
+            if fleet.get(stat_key) != total:
+                violations.append(
+                    f"stats key {stat_key}: fleet {fleet.get(stat_key)} "
+                    f"!= shard sum {total}"
+                )
+    else:
+        missing = [key for key in _ADDITIVE_STAT_KEYS if key not in stats]
+        if missing:
+            violations.append(f"stats() lost additive keys {missing}")
+    return violations
+
+
+def _recover(scenario: str, engine):
+    if scenario == "engine":
+        return DeuteronomyEngine.recover(engine)
+    return ShardedEngine.recover(engine)
+
+
+# --- the matrix -----------------------------------------------------------
+
+
+def _sample_hits(total: int, cap: int) -> List[int]:
+    """Deterministic spread over 1..total: first, last, evenly between."""
+    if total <= 0:
+        return []
+    if cap <= 0 or total <= cap:
+        return list(range(1, total + 1))
+    if cap == 1:
+        return [1]
+    step = (total - 1) / (cap - 1)
+    return sorted({round(1 + index * step) for index in range(cap)})
+
+
+def _count_hits(scenario: str, config: MatrixConfig,
+                baseline: Dict[bytes, bytes],
+                ops: Sequence[Op]) -> Dict[str, int]:
+    injector = FaultInjector()
+    injector.disarm()
+    engine = _build(scenario, config, injector)
+    _setup(scenario, engine, baseline)
+    injector.arm()
+    _drive(scenario, engine, ops, config)
+    return dict(injector.hit_counts)
+
+
+def run_case(scenario: str, config: MatrixConfig,
+             baseline: Dict[bytes, bytes], ops: Sequence[Op],
+             site: str, hit: int) -> CaseResult:
+    """Crash the trace at (site, hit), recover, check the oracle."""
+    result = CaseResult(scenario=scenario, site=site, hit=hit)
+    injector = FaultInjector(FaultPlan.crash_at(site, hit))
+    injector.disarm()
+    engine = _build(scenario, config, injector)
+    _setup(scenario, engine, baseline)
+    injector.arm()
+    try:
+        _drive(scenario, engine, ops, config)
+    except CrashError as crash:
+        result.crashed = (crash.site == site and crash.hit == hit)
+    injector.disarm()
+    if not result.crashed:
+        return result
+    expected = _durable_view(_shard_engines(scenario, engine), baseline)
+    keys = sorted(set(baseline) | set(expected))
+    try:
+        recovered = _recover(scenario, engine)
+    except Exception as exc:  # RecoveryError and anything like it
+        result.violations.append(f"recovery failed: {exc!r}")
+        return result
+    result.recovered = True
+    result.violations = _check_oracle(scenario, recovered, expected, keys)
+    return result
+
+
+def _noise_pass(config: MatrixConfig, baseline: Dict[bytes, bytes],
+                ops: Sequence[Op], probability: float) -> Tuple[int, List[str]]:
+    """Drive the trace under seeded transient I/O noise on the SSD path.
+
+    Returns total retries charged and any final-state violations — the
+    end-to-end check that retried I/O neither loses data nor goes
+    uncharged.  One explicit transient error per retry-wrapped site is
+    planned on top of the seeded noise, so the retry path is exercised
+    even when a short trace's noise draws all land above ``probability``.
+    """
+    noise = FaultPlan.transient_noise(config.seed, probability)
+    injector = FaultInjector(FaultPlan(
+        rules=(
+            FaultRule("log_store.flush", 1, FaultKind.IO_ERROR),
+            FaultRule("recovery_log.flush", 1, FaultKind.IO_ERROR),
+        ),
+        noise_seed=noise.noise_seed,
+        noise_probability=noise.noise_probability,
+    ))
+    injector.disarm()
+    engine = _build("engine", config, injector)
+    _setup("engine", engine, baseline)
+    injector.arm()
+    _drive("engine", engine, ops, config)
+    injector.disarm()
+    stats: List[RetryStats] = [
+        engine.dc.store.retry_stats, engine.tc.log.retry_stats,
+    ]
+    retries = sum(stat.retries for stat in stats)
+    # Under pure transient noise nothing is lost: the final state must
+    # match the in-memory expectation exactly.
+    expected = dict(baseline)
+    for kind, key, value in ops:
+        if kind == "put":
+            expected[key] = value
+        elif kind == "delete":
+            expected.pop(key, None)
+    violations = []
+    for key in sorted(set(baseline) | set(expected)):
+        got = engine.get(key)
+        if got != expected.get(key):
+            violations.append(
+                f"noise pass key {key!r}: {got!r} != {expected.get(key)!r}"
+            )
+            if len(violations) >= 8:
+                break
+    return retries, violations
+
+
+def run_matrix(config: MatrixConfig,
+               noise_probability: float = 0.0,
+               progress=None) -> MatrixReport:
+    """Count hits, then crash-and-recover every sampled (site, hit) pair."""
+    baseline, ops = build_trace(config)
+    cases: List[CaseResult] = []
+    hit_counts: Dict[str, Dict[str, int]] = {}
+    sampled: Dict[str, List[str]] = {}
+    for scenario in config.scenarios:
+        counts = _count_hits(scenario, config, baseline, ops)
+        hit_counts[scenario] = counts
+        sampled[scenario] = []
+        for site in FAULT_SITES:
+            total = counts.get(site, 0)
+            hits = _sample_hits(total, config.max_hits_per_site)
+            if len(hits) < total:
+                sampled[scenario].append(site)
+            for hit in hits:
+                case = run_case(scenario, config, baseline, ops, site, hit)
+                cases.append(case)
+                if progress is not None:
+                    progress(case)
+    report = MatrixReport(
+        config=config, cases=cases,
+        hit_counts=hit_counts, sampled_sites=sampled,
+    )
+    if noise_probability > 0.0:
+        retries, violations = _noise_pass(
+            config, baseline, ops, noise_probability
+        )
+        report.noise_retries = retries
+        for violation in violations:
+            extra = CaseResult(
+                scenario="engine", site="log_store.flush", hit=0,
+                crashed=True, recovered=True, violations=[violation],
+            )
+            cases.append(extra)
+    return report
+
+
+# --- CLI ------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro crash-matrix",
+        description=(
+            "Deterministic crash-matrix: crash a seeded YCSB trace at "
+            "every registered fault site and hit index, recover, and "
+            "check the durable-prefix oracle."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ops", type=int, default=2000,
+                        help="trace length (default 2000)")
+    parser.add_argument("--records", type=int, default=None,
+                        help="baseline record count")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="fleet size for the sharded scenario")
+    parser.add_argument("--max-hits", type=int, default=None,
+                        help="cap on tested hit indices per site "
+                             "(deterministically sampled beyond it)")
+    parser.add_argument("--scenario", choices=("engine", "sharded", "both"),
+                        default="both")
+    parser.add_argument("--noise", type=float, default=0.0, metavar="PROB",
+                        help="also run a transient-I/O-noise pass at this "
+                             "per-access failure probability")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: small trace, all sites, "
+                             "1 hit each, plus a noise pass")
+    parser.add_argument("--list-sites", action="store_true",
+                        help="print the fault-site registry and exit")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_sites:
+        for site in FAULT_SITES.values():
+            transient = " [transient-ok]" if site.transient_ok else ""
+            print(f"{site.name:34s}{transient}\n    {site.description}")
+        return 0
+
+    if args.smoke:
+        config = MatrixConfig.smoke(seed=args.seed)
+        noise = args.noise or 0.2
+    else:
+        config = MatrixConfig(seed=args.seed, ops=args.ops)
+        noise = args.noise
+    overrides = {}
+    if args.records is not None:
+        overrides["records"] = args.records
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.max_hits is not None:
+        overrides["max_hits_per_site"] = args.max_hits
+    if args.scenario != "both":
+        overrides["scenarios"] = (args.scenario,)
+    if overrides:
+        config = replace(config, **overrides)
+
+    report = run_matrix(config, noise_probability=noise)
+    print(report.render())
+    return 0 if report.ok else 1

@@ -9,6 +9,7 @@ accounting into the throughput numbers the paper's analysis consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .clock import VirtualClock
 from .cpu import CostTable, CpuModel
@@ -16,6 +17,9 @@ from .dram import DramModel
 from .iopath import IoPathKind, IoPathModel
 from .metrics import Histogram
 from .ssd import SimulatedSsd, SsdSpec
+
+if TYPE_CHECKING:  # deliberate: hardware stays import-independent of faults
+    from ..faults.plan import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -94,6 +98,10 @@ class Machine:
         # discussion.
         self.op_latencies = Histogram("op_latency_us")
         self._ops_started = 0
+        # Optional fault injector shared by every component running on
+        # this machine (or every shard machine of a fleet).  ``None``
+        # keeps the hot paths at a single attribute check per site.
+        self.faults: FaultInjector | None = None
 
     def latency_window(self) -> "tuple[float, float]":
         """Snapshot (cpu busy us, device service us) to bracket one op."""

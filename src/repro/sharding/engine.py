@@ -38,6 +38,7 @@ from typing import (
 from ..bwtree.tree import BwTreeConfig
 from ..deuteronomy.engine import DeuteronomyEngine
 from ..deuteronomy.tc import TcConfig
+from ..faults.plan import FaultInjector
 from ..hardware.machine import Machine
 from ..hardware.metrics import CounterSet
 from .router import ShardRouter
@@ -64,10 +65,16 @@ class ShardedEngine:
         tc_config: Optional[TcConfig] = None,
         machine_factory: Optional[Callable[[], Machine]] = None,
         threaded: bool = False,
+        faults: Optional[FaultInjector] = None,
         _shards: Optional[Sequence[DeuteronomyEngine]] = None,
     ) -> None:
         self.router = ShardRouter(num_shards)
         self.threaded = threaded
+        # Fleet-level fault injector: fires at the between-shard batch
+        # boundaries (per-shard sites run off each shard machine's own
+        # ``machine.faults``, which callers typically point at the same
+        # injector for fleet-wide hit ordering).
+        self.faults = faults
         self.counters = CounterSet()
         if _shards is not None:
             if len(_shards) != num_shards:
@@ -152,9 +159,17 @@ class ShardedEngine:
             shard = self.shards[shard_id]
             shard.machine.cpu.charge("hash_probe", len(sub_batch),
                                      category="router")
-            jobs.append(
-                lambda shard=shard, sub=sub_batch: run_shard(shard, sub)
-            )
+
+            def job(shard: DeuteronomyEngine = shard,
+                    sub: list = sub_batch) -> list:
+                if self.faults is not None:
+                    # A crash here models a fleet-wide power loss between
+                    # shard sub-batches: earlier shards committed (and
+                    # possibly flushed), later shards never saw the batch.
+                    self.faults.hit("sharded.apply_batch.boundary")
+                return run_shard(shard, sub)
+
+            jobs.append(job)
             job_positions.append(positions[shard_id])
         results = self._dispatch(jobs)
         self.counters.add("router.batches")
@@ -265,6 +280,7 @@ class ShardedEngine:
         engine = cls(
             crashed.num_shards,
             threaded=crashed.threaded,
+            faults=crashed.faults,
             _shards=recovered_shards,
         )
         crashed._recovered_into = engine

@@ -80,11 +80,25 @@ class CheckpointManager:
             next_page_id=self.mapping_table.next_page_id,
         )
         addr = self.store.append(image)
-        if self._latest_addr is not None:
-            self.store.invalidate(self._latest_addr)
-        self._latest_addr = addr
-        # The checkpoint is only durable once its segment reaches flash.
+        faults = self.store.machine.faults
+        if faults is not None:
+            faults.hit("checkpoint.write.after_append")
+        # Durability before invalidation: the old image must stay live
+        # until the new one is safely on flash, or a crash in between
+        # leaves zero live checkpoints and recovery loses the mapping
+        # table.  (The append above may already have auto-flushed on
+        # fill, so by here *two* images can legitimately be durable;
+        # find_latest resolves that by picking the newest.)
         self.store.flush()
+        if faults is not None:
+            faults.hit("checkpoint.write.after_flush")
+        previous, self._latest_addr = self._latest_addr, addr
+        if previous is not None:
+            try:
+                self.store.invalidate(previous)
+            except KeyError:
+                # Its segment was already reclaimed (deferred GC drop).
+                pass
         self.checkpoints_written += 1
         return addr
 
@@ -99,15 +113,24 @@ class CheckpointManager:
     @staticmethod
     def find_latest(store: LogStructuredStore) -> Optional[
             Tuple[FlashAddr, CheckpointImage]]:
-        """Scan live segment entries for the (unique) checkpoint image."""
-        found: Optional[Tuple[FlashAddr, CheckpointImage]] = None
+        """Scan live segment entries for the newest checkpoint image.
+
+        Exactly one image is live in steady state, but a crash inside
+        :meth:`write_checkpoint` — after the new image reached flash
+        (explicitly or via segment auto-flush on fill), before the old
+        one was invalidated — legitimately leaves two.  Recovery picks
+        the newest (largest flash address: segment ids and offsets are
+        allocated monotonically, so address order is append order) and
+        invalidates the stale survivors in place.
+        """
+        found: List[Tuple[FlashAddr, CheckpointImage]] = []
         for segment_id in store.flushed_segment_ids:
             for addr, image in store.live_images(segment_id):
                 if getattr(image, "kind", None) == "checkpoint":
-                    if found is not None:
-                        raise RuntimeError(
-                            "multiple live checkpoint images found: "
-                            f"{found[0]} and {addr}"
-                        )
-                    found = (addr, image)   # type: ignore[assignment]
-        return found
+                    found.append((addr, image))  # type: ignore[arg-type]
+        if not found:
+            return None
+        found.sort(key=lambda pair: (pair[0].segment_id, pair[0].offset))
+        for stale_addr, __ in found[:-1]:
+            store.invalidate(stale_addr)
+        return found[-1]

@@ -11,7 +11,7 @@ because segments are emptier when finally cleaned — experiment A5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..hardware.machine import Machine
 from .log_store import LogStructuredStore
@@ -52,20 +52,54 @@ class GarbageCollector:
         self.mapping_table = mapping_table
         self.checkpoint_manager = checkpoint_manager
         self.stats = GcStats()
+        # Segments cleaned with ``defer_drop=True``: relocated but still
+        # on flash, awaiting a superseding checkpoint + ``drop_pending``.
+        self._pending_drops: List[int] = []
+
+    @property
+    def pending_drops(self) -> Tuple[int, ...]:
+        return tuple(self._pending_drops)
 
     def _pick_victim(self, max_occupancy: float) -> Optional[int]:
+        pending = set(self._pending_drops)
         candidates = [
             (info.occupancy, segment_id)
             for segment_id, info in self.store.segments.items()
-            if info.occupancy <= max_occupancy
+            if segment_id not in pending and info.occupancy <= max_occupancy
         ]
         if not candidates:
             return None
         candidates.sort()
         return candidates[0][1]
 
-    def clean_segment(self, segment_id: int) -> int:
-        """Relocate a segment's live images and reclaim it; returns bytes."""
+    def _utilization(self) -> float:
+        """Live fraction of flushed flash, excluding pending-drop segments
+        (their space is already reclaimable, just not yet reclaimed)."""
+        pending = set(self._pending_drops)
+        stored = 0
+        live = 0
+        for segment_id, info in self.store.segments.items():
+            if segment_id in pending:
+                continue
+            stored += info.total_bytes
+            live += info.live_bytes
+        if stored == 0:
+            return 1.0
+        return live / stored
+
+    def clean_segment(self, segment_id: int, defer_drop: bool = False) -> int:
+        """Relocate a segment's live images and reclaim it; returns bytes.
+
+        With ``defer_drop=True`` the segment is *not* dropped: its live
+        images are relocated (and invalidated in place), and the segment
+        joins :attr:`pending_drops` until the caller has written a fresh
+        checkpoint and calls :meth:`drop_pending`.  That ordering makes
+        cleaning crash-safe — at every intermediate point there is a
+        durable checkpoint whose chains reference images still on flash.
+        """
+        faults = self.machine.faults
+        if faults is not None:
+            faults.hit("gc.clean_segment")
         info = self.store.segments[segment_id]
         # One large sequential read of the whole segment.
         self.machine.io_path.charge_round_trip(info.total_bytes)
@@ -73,6 +107,11 @@ class GarbageCollector:
         live_by_addr = self.mapping_table.current_address_set()
         for addr, image in self.store.live_images(segment_id):
             if getattr(image, "kind", None) == "checkpoint":
+                if defer_drop:
+                    # Leave the live checkpoint in place: the caller
+                    # writes a superseding checkpoint before the drop,
+                    # so a crash at any point still finds a live image.
+                    continue
                 # The live mapping-table checkpoint moves with the data.
                 # It must be durable *before* its old segment is dropped,
                 # or a crash in between would leave no checkpoint at all.
@@ -92,14 +131,48 @@ class GarbageCollector:
             entry = self.mapping_table.get(page_id)
             position = entry.flash_chain.index(addr)
             entry.flash_chain[position] = new_addr
+            if defer_drop:
+                # The copy supersedes the original immediately; recovery
+                # before the superseding checkpoint re-derives liveness
+                # from the old chains (rebuild_liveness), so marking the
+                # source dead here is safe.
+                self.store.invalidate(addr)
             self.stats.bytes_relocated += addr.nbytes
             self.stats.images_relocated += 1
+        if defer_drop:
+            self._pending_drops.append(segment_id)
+            self.stats.segments_cleaned += 1
+            return 0
         reclaimed = self.store.drop_segment(segment_id)
         self.stats.segments_cleaned += 1
         self.stats.bytes_reclaimed += reclaimed
         return reclaimed
 
-    def run_once(self, max_occupancy: float = 0.9) -> Optional[int]:
+    def drop_pending(self) -> int:
+        """Reclaim every pending-drop segment; returns bytes reclaimed.
+
+        Callers must have made a superseding checkpoint durable first
+        (``BwTree.collect_garbage`` does), so by now no durable mapping
+        state references the dropped segments.  A crash mid-loop leaves
+        the remaining segments on flash as dead space for a later pass.
+        """
+        faults = self.machine.faults
+        reclaimed = 0
+        while self._pending_drops:
+            segment_id = self._pending_drops[0]
+            if faults is not None:
+                faults.hit("gc.drop_segment")
+            # Issuing the trim/erase for the reclaimed range is an I/O
+            # submission like any other.
+            self.machine.io_path.charge_submit(0)
+            if segment_id in self.store.segments:
+                reclaimed += self.store.drop_segment(segment_id)
+            self._pending_drops.pop(0)
+        self.stats.bytes_reclaimed += reclaimed
+        return reclaimed
+
+    def run_once(self, max_occupancy: float = 0.9,
+                 defer_drop: bool = False) -> Optional[int]:
         """Clean the emptiest segment at or below ``max_occupancy``.
 
         Returns the cleaned segment id, or ``None`` if no segment qualifies.
@@ -109,26 +182,30 @@ class GarbageCollector:
         victim = self._pick_victim(max_occupancy)
         if victim is None:
             return None
-        self.clean_segment(victim)
+        self.clean_segment(victim, defer_drop=defer_drop)
         return victim
 
     def run_until_utilization(
         self, target: float, max_passes: int = 10_000,
+        defer_drop: bool = False,
     ) -> int:
         """Clean segments until live/stored utilization reaches ``target``.
 
         Returns the number of segments cleaned.  Relocation itself appends
         to the log, so progress is checked each pass; segments that are
         entirely live (occupancy 1.0) cannot improve utilization and are
-        skipped.
+        skipped.  With ``defer_drop=True`` utilization is computed as if
+        the pending segments were already reclaimed (see
+        :meth:`clean_segment`).
         """
         if not 0.0 < target <= 1.0:
             raise ValueError(f"target utilization must be in (0, 1]: {target}")
         cleaned = 0
         for _ in range(max_passes):
-            if self.store.utilization() >= target:
+            if self._utilization() >= target:
                 break
-            if self.run_once(max_occupancy=0.999) is None:
+            if self.run_once(max_occupancy=0.999,
+                             defer_drop=defer_drop) is None:
                 break
             cleaned += 1
         return cleaned

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..faults.retry import RetryStats, run_with_retries
 from ..hardware.machine import Machine
 from .mapping_table import FlashAddr
 from .pages import PageImage
@@ -68,6 +69,7 @@ class LogStructuredStore:
         self.bytes_appended = 0
         self.images_appended = 0
         self.segment_flushes = 0
+        self.retry_stats = RetryStats()
 
     def _take_segment_id(self) -> int:
         segment_id = self._next_segment_id
@@ -87,6 +89,9 @@ class LogStructuredStore:
             raise ValueError(
                 f"image of {nbytes}B exceeds segment size {self.segment_bytes}"
             )
+        faults = self.machine.faults
+        if faults is not None:
+            faults.hit("log_store.append")
         if self._open_offset + nbytes > self.segment_bytes:
             self.flush()
         addr = FlashAddr(self._open_segment_id, self._open_offset, nbytes)
@@ -107,6 +112,21 @@ class LogStructuredStore:
             return None
         segment_id = self._open_segment_id
         used = self._open_offset
+        faults = self.machine.faults
+
+        def write_segment() -> None:
+            # One large write: one I/O path round trip + one device access.
+            # Charges sit inside the attempt so a transient device error
+            # re-charges the full round trip on every retry.
+            self.machine.io_path.charge_round_trip(used)
+            if faults is not None:
+                faults.hit("log_store.flush")
+            self.machine.ssd.write(used)
+
+        run_with_retries(self.machine, write_segment, stats=self.retry_stats)
+        self.machine.ssd.store_bytes(used)
+        # The device has acked: only now does the segment exist.  A crash
+        # before this point loses the whole open buffer and nothing else.
         # Images invalidated while still buffered leave holes: they count
         # toward the segment's total (the write is contiguous) but are dead
         # on arrival.
@@ -117,10 +137,6 @@ class LogStructuredStore:
             info.entries[offset] = (image.size_bytes, True)
             self._payloads[(segment_id, offset)] = image
         self.segments[segment_id] = info
-        # One large write: a single I/O path round trip + one device access.
-        self.machine.io_path.charge_round_trip(used)
-        self.machine.ssd.write(used)
-        self.machine.ssd.store_bytes(used)
         self.segment_flushes += 1
         self._open_segment_id = self._take_segment_id()
         self._open_offset = 0

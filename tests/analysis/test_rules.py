@@ -113,6 +113,33 @@ class TestCostAccounting:
         )
         assert not _lint_snippet(tmp_path, code, self.RULE)
 
+    def test_fault_site_hit_without_charge_is_flagged(self, tmp_path):
+        # Arriving at a fault site marks real storage-path work: the
+        # registered hooks (hit / run_with_retries / drop_pending) are
+        # domain touch verbs, so an uncharged path through them is a
+        # finding.
+        code = """\
+class Store:
+    def __init__(self, machine):
+        self.machine = machine
+
+    def flush(self, nbytes):
+        self.machine.faults.hit("log_store.flush")
+        return nbytes
+
+    def drain(self):
+        self.machine.io_path.charge_round_trip(512)
+        self.machine.faults.hit("log_store.flush")
+        return self.drop_pending()
+
+    def drop_pending(self):
+        self.machine.io_path.charge_submit(0)
+        return 0
+"""
+        findings = _lint_snippet(tmp_path, code, self.RULE)
+        assert len(findings) == 1
+        assert "Store.flush" in findings[0].message
+
 
 # ---------------------------------------------------------------------------
 # determinism

@@ -1,0 +1,106 @@
+"""Property tests: random traces crashed at random sites still recover.
+
+The crash matrix enumerates one seeded trace exhaustively; these
+properties sample the broader space — any (seed, site, hit) triple must
+either never reach the crash point or recover onto the durable prefix,
+recovery must be idempotent, and a recovered fleet's accounting must
+stay counter-additive.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.deuteronomy import DeuteronomyEngine
+from repro.faults import FAULT_SITES, CrashError, FaultInjector, FaultPlan
+from repro.faults.matrix import (
+    MatrixConfig,
+    _build,
+    _drive,
+    _durable_view,
+    _setup,
+    _shard_engines,
+    build_trace,
+    run_case,
+)
+from repro.sharding.engine import _ADDITIVE_STAT_KEYS, ShardedEngine
+
+SITES = st.sampled_from(sorted(FAULT_SITES))
+SEEDS = st.integers(min_value=0, max_value=2**16)
+HITS = st.integers(min_value=1, max_value=5)
+SCENARIOS = st.sampled_from(["engine", "sharded"])
+
+
+def tiny_config(seed: int) -> MatrixConfig:
+    return MatrixConfig(
+        seed=seed, ops=120, records=48, checkpoint_every=30,
+        gc_every=60, batch_size=12, max_hits_per_site=1,
+    )
+
+
+def crash_somewhere(scenario, config, baseline, ops, site, hit):
+    """Drive the trace under a crash plan; returns the crashed engine or
+    None if (site, hit) was never reached."""
+    injector = FaultInjector(FaultPlan.crash_at(site, hit))
+    injector.disarm()
+    engine = _build(scenario, config, injector)
+    _setup(scenario, engine, baseline)
+    injector.arm()
+    try:
+        _drive(scenario, engine, ops, config)
+    except CrashError:
+        injector.disarm()
+        return engine
+    return None
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=SEEDS, site=SITES, hit=HITS, scenario=SCENARIOS)
+def test_any_reachable_crash_recovers_to_durable_prefix(
+        seed, site, hit, scenario):
+    config = tiny_config(seed)
+    baseline, ops = build_trace(config)
+    case = run_case(scenario, config, baseline, ops, site, hit)
+    if not case.crashed:
+        return   # (site, hit) not reachable on this trace: vacuous
+    assert case.recovered, case.violations
+    assert case.violations == [], case.violations
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=SEEDS, site=SITES, hit=HITS)
+def test_recover_twice_is_recover_once(seed, site, hit):
+    config = tiny_config(seed)
+    baseline, ops = build_trace(config)
+    crashed = crash_somewhere("engine", config, baseline, ops, site, hit)
+    if crashed is None:
+        return
+    expected = _durable_view([crashed], baseline)
+    first = DeuteronomyEngine.recover(crashed)
+    second = DeuteronomyEngine.recover(crashed)
+    assert second is first
+    for key in sorted(set(baseline) | set(expected)):
+        assert first.get(key) == expected.get(key)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=SEEDS, site=SITES, hit=HITS)
+def test_recovered_fleet_stats_stay_additive(seed, site, hit):
+    config = tiny_config(seed)
+    baseline, ops = build_trace(config)
+    crashed = crash_somewhere("sharded", config, baseline, ops, site, hit)
+    if crashed is None:
+        return
+    recovered = ShardedEngine.recover(crashed)
+    expected = _durable_view(_shard_engines("sharded", crashed), baseline)
+    for key in sorted(baseline):
+        assert recovered.get(key) == expected.get(key)
+    stats = recovered.stats()
+    per_shard = stats["per_shard"]
+    for stat_key in _ADDITIVE_STAT_KEYS:
+        assert stats["fleet"][stat_key] == sum(
+            shard[stat_key] for shard in per_shard)

@@ -1,0 +1,137 @@
+"""Fault plans and the injector: counting, firing, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FAULT_SITES,
+    CrashError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    IoError,
+    describe_sites,
+)
+
+SITE = "log_store.flush"
+
+
+class TestRegistry:
+    def test_known_sites_are_registered(self):
+        for name in (
+            "log_store.append", "log_store.flush",
+            "recovery_log.flush", "recovery_log.flush.after_write",
+            "checkpoint.write.after_append", "checkpoint.write.after_flush",
+            "gc.clean_segment", "gc.drop_segment",
+            "sharded.apply_batch.boundary",
+        ):
+            assert name in FAULT_SITES
+
+    def test_describe_sites_covers_registry(self):
+        described = dict(describe_sites())
+        assert set(described) == set(FAULT_SITES)
+        assert all(description for description in described.values())
+
+    def test_transient_sites_are_on_retry_wrapped_paths(self):
+        transient = {name for name, site in FAULT_SITES.items()
+                     if site.transient_ok}
+        assert transient == {"log_store.flush", "recovery_log.flush"}
+
+
+class TestRuleValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("no.such.site", 1, FaultKind.CRASH)
+
+    def test_hit_index_is_one_based(self):
+        with pytest.raises(ValueError):
+            FaultRule(SITE, 0, FaultKind.CRASH)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultRule(SITE, 1, FaultKind.IO_ERROR, count=0)
+
+    def test_noise_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(noise_seed=0, noise_probability=1.5)
+
+    def test_noise_sites_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan.transient_noise(0, 0.1, sites=["bogus"])
+
+
+class TestInjector:
+    def test_counts_hits_per_site(self):
+        injector = FaultInjector()
+        for __ in range(3):
+            injector.hit(SITE)
+        injector.hit("gc.clean_segment")
+        assert injector.hits(SITE) == 3
+        assert injector.hits("gc.clean_segment") == 1
+        assert injector.total_hits == 4
+
+    def test_unregistered_site_is_an_error(self):
+        with pytest.raises(ValueError):
+            FaultInjector().hit("typo.site")
+
+    def test_crash_fires_at_exact_hit(self):
+        injector = FaultInjector(FaultPlan.crash_at(SITE, 3))
+        injector.hit(SITE)
+        injector.hit(SITE)
+        with pytest.raises(CrashError) as excinfo:
+            injector.hit(SITE)
+        assert excinfo.value.site == SITE
+        assert excinfo.value.hit == 3
+
+    def test_crash_fires_at_most_once(self):
+        # Recovery re-enters instrumented paths; a second crash mid-rebuild
+        # would make every matrix case unrecoverable by construction.
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule(SITE, 1, FaultKind.CRASH, count=5),
+        )))
+        with pytest.raises(CrashError):
+            injector.hit(SITE)
+        for __ in range(5):
+            injector.hit(SITE)   # does not raise again
+
+    def test_io_error_fires_for_count_consecutive_hits(self):
+        injector = FaultInjector(FaultPlan.io_error_at(SITE, 2, failures=2))
+        injector.hit(SITE)
+        with pytest.raises(IoError):
+            injector.hit(SITE)
+        with pytest.raises(IoError):
+            injector.hit(SITE)
+        injector.hit(SITE)   # device healthy again
+
+    def test_disarm_suspends_counting_and_firing(self):
+        injector = FaultInjector(FaultPlan.crash_at(SITE, 1))
+        injector.disarm()
+        injector.hit(SITE)           # neither counted nor fired
+        assert injector.hits(SITE) == 0
+        injector.arm()
+        with pytest.raises(CrashError):
+            injector.hit(SITE)
+
+    def test_noise_is_deterministic_per_seed(self):
+        def fire_pattern(seed: int) -> list:
+            injector = FaultInjector(FaultPlan.transient_noise(seed, 0.3))
+            pattern = []
+            for __ in range(40):
+                try:
+                    injector.hit(SITE)
+                    pattern.append(False)
+                except IoError:
+                    pattern.append(True)
+            return pattern
+
+        assert fire_pattern(7) == fire_pattern(7)
+        assert fire_pattern(7) != fire_pattern(8)
+        assert any(fire_pattern(7))
+
+    def test_noise_only_hits_transient_sites_by_default(self):
+        injector = FaultInjector(FaultPlan.transient_noise(0, 1.0))
+        injector.hit("log_store.append")        # not transient_ok: no raise
+        with pytest.raises(IoError):
+            injector.hit(SITE)
