@@ -74,6 +74,14 @@ def main(argv=None) -> int:
         # Deterministic fault-injection crash matrix (repro.faults).
         from .faults.matrix import main as crash_matrix_main
         return crash_matrix_main(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        # Cost-attribution tracing replay (repro.observability).
+        from .observability.trace_cli import main as trace_main
+        return trace_main(list(argv[1:]))
+    if argv and argv[0] == "doc-check":
+        # docs/ARCHITECTURE.md symbol consistency (repro.analysis).
+        from .analysis.doccheck import main as doccheck_main
+        return doccheck_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -91,7 +99,10 @@ def main(argv=None) -> int:
               "sharded-only run); 'lint' runs the domain static "
               "checks (see 'lint --help'); 'crash-matrix' runs the "
               "deterministic fault-injection recovery matrix "
-              "(see 'crash-matrix --help')"),
+              "(see 'crash-matrix --help'); 'trace' replays a seeded "
+              "workload with cost-attribution tracing (see "
+              "'trace --help'); 'doc-check' verifies that symbols named "
+              "in docs/ARCHITECTURE.md exist"),
     )
     args = parser.parse_args(argv)
 

@@ -60,6 +60,11 @@ DOMAIN_TOUCH_VERBS = frozenset({
     "hit",
     "run_with_retries",
     "drop_pending",
+    # Observability hooks: opening a trace span or recording a hot-path
+    # histogram sample marks measured storage work — a method worth a
+    # span or a metric is a method whose cost must be charged.
+    "trace_span",
+    "observe",
 })
 
 #: Generic verbs that count as touches only with a store-like receiver.

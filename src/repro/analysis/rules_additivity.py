@@ -41,11 +41,27 @@ def _declared_keys(node: ast.Assign) -> Optional[List[Tuple[str, int, int]]]:
     return keys
 
 
+#: Provider methods whose returned dict literals back fleet sums.
+#: ``stats()`` is the engine convention; ``snapshot()`` is the metrics
+#: registry's, so registry-level additive declarations are checked too.
+_PROVIDER_METHODS = ("stats", "snapshot")
+
+
 def _stats_dict_keys(cls: ast.ClassDef) -> Optional[Set[str]]:
-    """String keys of dict literals returned by the class's stats()."""
+    """String keys of dict literals returned by the class's provider
+    method (``stats`` preferred, else ``snapshot``)."""
+    for method_name in _PROVIDER_METHODS:
+        keys = _method_dict_keys(cls, method_name)
+        if keys is not None:
+            return keys
+    return None
+
+
+def _method_dict_keys(cls: ast.ClassDef,
+                      method_name: str) -> Optional[Set[str]]:
     for item in cls.body:
         if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
-                and item.name == "stats":
+                and item.name == method_name:
             keys: Set[str] = set()
             saw_dict = False
             for node in ast.walk(item):
@@ -116,7 +132,8 @@ class CounterAdditivityRule(Rule):
                                 message=(
                                     f"{decl_name} declares {key!r} as "
                                     "additive but "
-                                    f"{provider_name}.stats() does not "
+                                    f"{provider_name}.stats()/"
+                                    "snapshot() does not "
                                     "emit that key; summing it across "
                                     "shards would raise or silently "
                                     "under-count"

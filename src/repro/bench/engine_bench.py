@@ -47,7 +47,7 @@ from ..workloads.ycsb import (
     shard_balance,
 )
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_OUT = "BENCH_engine.json"
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 
@@ -290,6 +290,86 @@ def _run_eviction_comparison(
     }
 
 
+def _run_trace_overhead(
+    record_count: int,
+    op_count: int,
+    batch_size: int,
+    cores: int,
+    value_bytes: int,
+    sync_commit: bool,
+) -> Dict[str, object]:
+    """Batched ycsb-a with tracing off vs on (schema v3 ``trace`` block).
+
+    Both modes drive the identical generated stream on identical fresh
+    engines; simulated costs are equal by construction (tracing charges
+    nothing), so the delta is pure wall-clock harness overhead:
+    ``overhead_fraction`` is the *median* of per-round
+    ``traced_wall / untraced_wall`` ratios minus one: the two modes
+    alternate back-to-back within each of ``repeats`` rounds (over
+    ``3 * op_count`` operations), so each ratio compares runs under the
+    same machine load, and the median discards rounds where a load
+    burst hit one side — scheduler jitter at sub-second run lengths
+    would otherwise swamp the measurement.  The traced run also records
+    the per-component cost breakdown and the metrics registry's window
+    delta, making the benchmark file a one-stop cost-attribution
+    record.
+    """
+    from ..observability.registry import engine_registry
+    from ..observability.spans import Tracer
+
+    spec_kwargs = dict(record_count=record_count, value_bytes=value_bytes)
+    builder = MIX_BUILDERS["a"]
+    repeats = 7
+    overhead_ops = 3 * op_count
+
+    def one_run(traced: bool):
+        machine, engine, generator = _fresh_engine(
+            builder(**spec_kwargs), cores, sync_commit)
+        ops = list(generator.operations(overhead_ops))
+        tracer = delta = None
+        if traced:
+            tracer = Tracer(machine)
+            machine.attach_tracer(tracer)
+            registry = engine_registry(engine)
+            before = registry.snapshot()
+        result = _run_batched(machine, engine, ops, batch_size)
+        if traced:
+            delta = registry.delta(before)
+        return result, tracer, delta
+
+    untraced_walls = []
+    traced_walls = []
+    ratios = []
+    for _ in range(repeats):
+        untraced = one_run(False)[0]
+        untraced_walls.append(untraced["wall_seconds"])
+        traced, tracer, delta = one_run(True)
+        traced_walls.append(traced["wall_seconds"])
+        if untraced_walls[-1]:
+            ratios.append(traced_walls[-1] / untraced_walls[-1])
+    untraced_wall = min(untraced_walls)
+    traced_wall = min(traced_walls)
+
+    overhead = (sorted(ratios)[len(ratios) // 2] - 1.0
+                if ratios else 0.0)
+    assert traced["core_us_per_op"] == untraced["core_us_per_op"], (
+        "tracing changed simulated costs"
+    )
+    return {
+        "workload": "ycsb-a",
+        "path": "batched",
+        "operations": overhead_ops,
+        "repeats": repeats,
+        "untraced_wall_seconds": untraced_wall,
+        "traced_wall_seconds": traced_wall,
+        "overhead_fraction": overhead,
+        "cpu_us_by_component": tracer.cpu_us_by_component(),
+        "ssd_ios_by_component": tracer.ssd_ios_by_component(),
+        "unattributed_cpu_us": tracer.unattributed_us(),
+        "metrics_delta_counters": delta["counters"],
+    }
+
+
 def run_bench(
     mixes: Iterable[str] = ("a", "b", "c"),
     record_count: int = 4000,
@@ -302,6 +382,7 @@ def run_bench(
     shard_counts: Iterable[int] = DEFAULT_SHARD_COUNTS,
     per_path_comparison: bool = True,
     threaded_shards: bool = False,
+    trace: bool = False,
 ) -> Dict[str, object]:
     """Run the benchmark and return the report dict (see module doc).
 
@@ -342,6 +423,10 @@ def run_bench(
     if eviction_comparison:
         report["eviction"] = _run_eviction_comparison(
             record_count, op_count, cores, value_bytes)
+    if trace:
+        report["trace"] = _run_trace_overhead(
+            record_count, op_count, batch_size, cores, value_bytes,
+            sync_commit)
     return report
 
 
@@ -405,6 +490,23 @@ def render(report: Dict[str, object]) -> str:
             f"LRU hit {eviction['lru_hit_rate']:.4f} vs "
             f"CLOCK hit {eviction['clock_hit_rate']:.4f}"
         )
+    trace = report.get("trace")
+    if trace:
+        lines.append("")
+        lines.append(
+            f"tracing overhead ({trace['workload']}, {trace['path']}): "
+            f"{trace['overhead_fraction'] * 100:.1f}% wall "
+            f"({trace['untraced_wall_seconds']:.3f}s -> "
+            f"{trace['traced_wall_seconds']:.3f}s)"
+        )
+        breakdown = trace["cpu_us_by_component"]
+        total = sum(breakdown.values()) or 1.0
+        parts = ", ".join(
+            f"{component} {us / total * 100:.0f}%"
+            for component, us in sorted(
+                breakdown.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"  cpu by component: {parts}")
     return "\n".join(lines)
 
 
@@ -431,6 +533,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="thread-per-shard dispatch for sharded runs "
                              "(same simulated results, overlapped wall "
                              "clock)")
+    parser.add_argument("--trace", action="store_true",
+                        help="also measure tracing overhead on batched "
+                             "ycsb-a and record the per-component cost "
+                             "breakdown (schema v3 'trace' block)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT}); "
                              "'-' skips writing")
@@ -470,6 +576,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         shard_counts=shard_counts,
         per_path_comparison=per_path_comparison,
         threaded_shards=args.threaded,
+        trace=args.trace,
     )
     print(render(report))
     if args.out != "-":

@@ -214,37 +214,39 @@ class BwTree:
     def get_with_stats(self, key: bytes) -> OpResult:
         """Point lookup returning the value plus cost-relevant facts."""
         self._validate_key(key)
-        window = self._begin_op()
-        entry = self._descend(key)
-        self.cache.touch(entry)
-        result = OpResult()
-        cpu = self.machine.cpu
+        with self.machine.trace_span("bwtree.get", "bwtree"):
+            window = self._begin_op()
+            entry = self._descend(key)
+            self.cache.touch(entry)
+            result = OpResult()
+            cpu = self.machine.cpu
 
-        if entry.state is not None:
+            if entry.state is not None:
+                probe = entry.state.lookup(key)
+                cpu.charge("delta_chain_hop", probe.delta_hops,
+                           category="bwtree")
+                if not probe.base_missing:
+                    # Resolved without I/O.  If the base was evicted, the
+                    # answer came from a resident delta: a record-cache
+                    # hit (Section 6.3).
+                    if not entry.state.base_present:
+                        result.record_cache_hit = True
+                    self._finish_read(entry, probe, result)
+                    self._post_op(entry, result, window)
+                    return result
+
+            # Base page (and possibly flushed deltas) must come from
+            # flash: the SS operation of the paper's model.
+            result.ios += self.cache.fetch(entry)
+            self.cache.ensure_capacity(protect={entry.page_id})
+            assert entry.state is not None
             probe = entry.state.lookup(key)
+            assert not probe.base_missing
             cpu.charge("delta_chain_hop", probe.delta_hops,
                        category="bwtree")
-            if not probe.base_missing:
-                # Resolved without I/O.  If the base was evicted, the answer
-                # came from a resident delta: a record-cache hit (Section
-                # 6.3).
-                if not entry.state.base_present:
-                    result.record_cache_hit = True
-                self._finish_read(entry, probe, result)
-                self._post_op(entry, result, window)
-                return result
-
-        # Base page (and possibly flushed deltas) must come from flash: the
-        # SS operation of the paper's model.
-        result.ios += self.cache.fetch(entry)
-        self.cache.ensure_capacity(protect={entry.page_id})
-        assert entry.state is not None
-        probe = entry.state.lookup(key)
-        assert not probe.base_missing
-        cpu.charge("delta_chain_hop", probe.delta_hops, category="bwtree")
-        self._finish_read(entry, probe, result)
-        self._post_op(entry, result, window)
-        return result
+            self._finish_read(entry, probe, result)
+            self._post_op(entry, result, window)
+            return result
 
     def _finish_read(self, entry: PageEntry, probe, result: OpResult) -> None:
         cpu = self.machine.cpu
@@ -266,31 +268,34 @@ class BwTree:
     def upsert(self, key: bytes, value: bytes) -> OpResult:
         """Blind upsert: posts a delta without reading the base page."""
         self._validate_kv(key, value)
-        window = self._begin_op()
-        entry = self._descend(key)
-        result = OpResult(found=True)
-        self._post_blind_delta(
-            entry,
-            RecordDelta(DeltaKind.UPSERT, key, value,
-                        self._next_timestamp()),
-            result,
-        )
-        self._post_op(entry, result, window)
-        return result
+        with self.machine.trace_span("bwtree.upsert", "bwtree"):
+            window = self._begin_op()
+            entry = self._descend(key)
+            result = OpResult(found=True)
+            self._post_blind_delta(
+                entry,
+                RecordDelta(DeltaKind.UPSERT, key, value,
+                            self._next_timestamp()),
+                result,
+            )
+            self._post_op(entry, result, window)
+            return result
 
     def delete(self, key: bytes) -> OpResult:
         """Blind delete: posts a tombstone delta without reading the base."""
         self._validate_key(key)
-        window = self._begin_op()
-        entry = self._descend(key)
-        result = OpResult()
-        self._post_blind_delta(
-            entry,
-            RecordDelta(DeltaKind.DELETE, key, None, self._next_timestamp()),
-            result,
-        )
-        self._post_op(entry, result, window)
-        return result
+        with self.machine.trace_span("bwtree.delete", "bwtree"):
+            window = self._begin_op()
+            entry = self._descend(key)
+            result = OpResult()
+            self._post_blind_delta(
+                entry,
+                RecordDelta(DeltaKind.DELETE, key, None,
+                            self._next_timestamp()),
+                result,
+            )
+            self._post_op(entry, result, window)
+            return result
 
     def apply_blind_batch(
         self, ops: "List[Tuple[bytes, Optional[bytes]]]"
@@ -304,34 +309,35 @@ class BwTree:
         saves a real server.  Returns an aggregate :class:`OpResult`
         (``ios`` summed, ``latency_us`` spanning the whole batch).
         """
-        window = self.machine.latency_window()
-        cpu = self.machine.cpu
-        cpu.charge("op_dispatch", category="bwtree")
-        cpu.charge("epoch_protect", category="bwtree")
-        result = OpResult(found=True)
-        counters = self.counters
-        for key, value in ops:
-            self.machine.begin_operation()
-            ios_before = result.ios
-            if value is None:
-                self._validate_key(key)
-                delta = RecordDelta(DeltaKind.DELETE, key, None,
-                                    self._next_timestamp())
-            else:
-                self._validate_kv(key, value)
-                delta = RecordDelta(DeltaKind.UPSERT, key, value,
-                                    self._next_timestamp())
-            entry = self._descend(key)
-            self._post_blind_delta(entry, delta, result)
-            counters.add("bwtree.ops")
-            if result.ios > ios_before:
-                counters.add("bwtree.ss_ops")
-            else:
-                counters.add("bwtree.mm_ops")
-        result.latency_us = self.machine.observe_latency(window)
-        counters.add("bwtree.ios", result.ios)
-        counters.add("bwtree.blind_batches")
-        return result
+        with self.machine.trace_span("bwtree.blind_batch", "bwtree"):
+            window = self.machine.latency_window()
+            cpu = self.machine.cpu
+            cpu.charge("op_dispatch", category="bwtree")
+            cpu.charge("epoch_protect", category="bwtree")
+            result = OpResult(found=True)
+            counters = self.counters
+            for key, value in ops:
+                self.machine.begin_operation()
+                ios_before = result.ios
+                if value is None:
+                    self._validate_key(key)
+                    delta = RecordDelta(DeltaKind.DELETE, key, None,
+                                        self._next_timestamp())
+                else:
+                    self._validate_kv(key, value)
+                    delta = RecordDelta(DeltaKind.UPSERT, key, value,
+                                        self._next_timestamp())
+                entry = self._descend(key)
+                self._post_blind_delta(entry, delta, result)
+                counters.add("bwtree.ops")
+                if result.ios > ios_before:
+                    counters.add("bwtree.ss_ops")
+                else:
+                    counters.add("bwtree.mm_ops")
+            result.latency_us = self.machine.observe_latency(window)
+            counters.add("bwtree.ios", result.ios)
+            counters.add("bwtree.blind_batches")
+            return result
 
     def insert(self, key: bytes, value: bytes) -> bool:
         """Insert iff absent (non-blind: reads first). True on success."""

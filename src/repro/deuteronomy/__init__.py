@@ -3,6 +3,10 @@
 MVCC transactions whose version store, retained recovery-log buffers and
 log-structured read cache together form the TC-level record cache the paper
 credits with avoiding both I/O and data-component trips.
+
+The engine facade opens the root trace spans (``engine.get`` /
+``engine.put`` / ``engine.apply_batch``, ...) that
+:mod:`repro.observability` renders as per-op cost trees.
 """
 
 from .engine import DeuteronomyEngine

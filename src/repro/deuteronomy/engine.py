@@ -94,23 +94,27 @@ class DeuteronomyEngine:
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Autocommitted snapshot read."""
-        txn = self.tc.begin()
-        try:
-            value = self.tc.read(txn, key)
-        except BaseException:
-            # A failed read must not leave a dangling active transaction.
-            self.tc.abort(txn)
-            raise
-        self.tc.commit(txn)
-        return value
+        with self.machine.trace_span("engine.get", "engine"):
+            txn = self.tc.begin()
+            try:
+                value = self.tc.read(txn, key)
+            except BaseException:
+                # A failed read must not leave a dangling active
+                # transaction.
+                self.tc.abort(txn)
+                raise
+            self.tc.commit(txn)
+            return value
 
     def put(self, key: bytes, value: bytes) -> None:
         """Autocommitted single-key update."""
-        self.tc.run_update(key, value)
+        with self.machine.trace_span("engine.put", "engine"):
+            self.tc.run_update(key, value)
 
     def delete(self, key: bytes) -> None:
         """Autocommitted single-key delete."""
-        self.tc.run_update(key, None)
+        with self.machine.trace_span("engine.delete", "engine"):
+            self.tc.run_update(key, None)
 
     # --- batched (multi-op) conveniences ------------------------------
 
@@ -119,29 +123,32 @@ class DeuteronomyEngine:
         flush decision for the whole batch.  Items are applied in order
         (a later write to the same key wins, exactly like sequential
         ``put`` calls).  Returns one commit timestamp per item."""
-        timestamps = self.tc.run_update_batch(items)
-        assert all(ts is not None for ts in timestamps)
-        return timestamps  # type: ignore[return-value]
+        with self.machine.trace_span("engine.multi_put", "engine"):
+            timestamps = self.tc.run_update_batch(items)
+            assert all(ts is not None for ts in timestamps)
+            return timestamps  # type: ignore[return-value]
 
     def multi_delete(self, keys: Iterable[bytes]) -> List[int]:
         """Group-committed autocommit deletes (see :meth:`multi_put`)."""
-        timestamps = self.tc.run_update_batch(
-            (key, None) for key in keys
-        )
-        assert all(ts is not None for ts in timestamps)
-        return timestamps  # type: ignore[return-value]
+        with self.machine.trace_span("engine.multi_delete", "engine"):
+            timestamps = self.tc.run_update_batch(
+                (key, None) for key in keys
+            )
+            assert all(ts is not None for ts in timestamps)
+            return timestamps  # type: ignore[return-value]
 
     def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
         """Batched autocommitted snapshot reads: one transaction and one
         request dispatch amortized across the whole batch."""
-        txn = self.tc.begin()
-        try:
-            values = self.tc.read_batch(txn, keys)
-        except BaseException:
-            self.tc.abort(txn)
-            raise
-        self.tc.commit(txn)
-        return values
+        with self.machine.trace_span("engine.multi_get", "engine"):
+            txn = self.tc.begin()
+            try:
+                values = self.tc.read_batch(txn, keys)
+            except BaseException:
+                self.tc.abort(txn)
+                raise
+            self.tc.commit(txn)
+            return values
 
     def apply_batch(
         self, ops: Sequence[Tuple[str, bytes, Optional[bytes]]]
@@ -153,21 +160,24 @@ class DeuteronomyEngine:
         see the batch's earlier writes.  Returns one entry per op: the
         value for gets, ``None`` for writes.
         """
-        txn = self.tc.begin()
-        try:
-            results = self.tc.execute_batch(txn, ops)
-        except BaseException:
-            self.tc.abort(txn)
-            raise
-        committed = self.tc.commit_batch([txn])[0]
-        if committed is None:  # pragma: no cover - single-txn batch
-            raise TransactionAborted(f"txn {txn.txn_id}: batch conflict")
-        return results
+        with self.machine.trace_span("engine.apply_batch", "engine"):
+            txn = self.tc.begin()
+            try:
+                results = self.tc.execute_batch(txn, ops)
+            except BaseException:
+                self.tc.abort(txn)
+                raise
+            committed = self.tc.commit_batch([txn])[0]
+            if committed is None:  # pragma: no cover - single-txn batch
+                raise TransactionAborted(
+                    f"txn {txn.txn_id}: batch conflict")
+            return results
 
     def checkpoint(self) -> None:
         """Flush the log and every dirty data page."""
-        self.tc.log.flush()
-        self.dc.checkpoint()
+        with self.machine.trace_span("engine.checkpoint", "engine"):
+            self.tc.log.flush()
+            self.dc.checkpoint()
 
     def collect_garbage(self, target_utilization: float = 0.8) -> int:
         """Run segment GC with write-ahead ordering preserved.
@@ -182,8 +192,9 @@ class DeuteronomyEngine:
         would then serve writes the log never made durable (the WAL
         inversion the crash matrix's GC sites catch).
         """
-        self.tc.log.flush()
-        return self.dc.collect_garbage(target_utilization)
+        with self.machine.trace_span("engine.collect_garbage", "engine"):
+            self.tc.log.flush()
+            return self.dc.collect_garbage(target_utilization)
 
     def stats(self) -> dict:
         """One engine's cost/cache accounting as a flat dict.

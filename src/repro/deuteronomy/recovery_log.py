@@ -158,23 +158,27 @@ class RecoveryLog:
                 faults.hit("recovery_log.flush")
             self.machine.ssd.write(current.nbytes)
 
-        run_with_retries(self.machine, write_buffer, stats=self.retry_stats)
-        # The device ack is the durability point: these records survive a
-        # crash from here on even if the bookkeeping below never runs
-        # (the recovery_log.flush.after_write crash window).  Recovery
-        # reads ``durable_records``, so a buffer that is durable on flash
-        # but never marked ``flushed`` still replays — and replays once:
-        # ``durable_upto`` keeps a re-flush from duplicating records.
-        self.durable_records.extend(current.records[current.durable_upto:])
-        current.durable_upto = len(current.records)
-        if faults is not None:
-            faults.hit("recovery_log.flush.after_write")
-        current.flushed = True
-        self.flushes += 1
-        self._buffers.append(_Buffer(self._next_buffer_id))
-        self._next_buffer_id += 1
-        self._enforce_budget()
-        return current.buffer_id
+        with self.machine.trace_span("recovery_log.flush", "recovery_log"):
+            run_with_retries(self.machine, write_buffer,
+                             stats=self.retry_stats)
+            # The device ack is the durability point: these records
+            # survive a crash from here on even if the bookkeeping below
+            # never runs (the recovery_log.flush.after_write crash
+            # window).  Recovery reads ``durable_records``, so a buffer
+            # that is durable on flash but never marked ``flushed`` still
+            # replays — and replays once: ``durable_upto`` keeps a
+            # re-flush from duplicating records.
+            self.durable_records.extend(
+                current.records[current.durable_upto:])
+            current.durable_upto = len(current.records)
+            if faults is not None:
+                faults.hit("recovery_log.flush.after_write")
+            current.flushed = True
+            self.flushes += 1
+            self._buffers.append(_Buffer(self._next_buffer_id))
+            self._next_buffer_id += 1
+            self._enforce_budget()
+            return current.buffer_id
 
     def _enforce_budget(self) -> None:
         if self.retain_budget_bytes is None:

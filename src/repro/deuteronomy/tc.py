@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bwtree.tree import BwTree
 from ..hardware.machine import Machine
-from ..hardware.metrics import CounterSet
+from ..hardware.metrics import CounterSet, Histogram
 from .mvcc import Version, VersionStore
 from .read_cache import ReadCache
 from .recovery_log import LogRecord, RecoveryLog
@@ -82,6 +82,9 @@ class TransactionComponent:
         self.read_cache = ReadCache(machine, self.config.read_cache_bytes)
         self.versions = VersionStore(machine)
         self.counters = CounterSet()
+        # Group-commit batch sizes (metrics-registry histogram; observing
+        # is bookkeeping, not simulated work, so it carries no charge).
+        self.batch_sizes = Histogram("tc_commit_batch_size")
         self._clock = 0
         self._next_txn_id = 1
         self._active: Dict[int, Transaction] = {}
@@ -112,37 +115,38 @@ class TransactionComponent:
         Returns the commit timestamp.
         """
         self._require_active(txn)
-        for key in txn.write_set:
-            newest = self.versions.newest_timestamp(key)
-            if newest is not None and newest > txn.read_timestamp:
-                self.abort(txn)
-                raise TransactionAborted(
-                    f"txn {txn.txn_id}: write-write conflict on {key!r}"
+        with self.machine.trace_span("tc.commit", "tc"):
+            for key in txn.write_set:
+                newest = self.versions.newest_timestamp(key)
+                if newest is not None and newest > txn.read_timestamp:
+                    self.abort(txn)
+                    raise TransactionAborted(
+                        f"txn {txn.txn_id}: write-write conflict on {key!r}"
+                    )
+            self.machine.cpu.charge("timestamp_alloc", category="tc")
+            commit_ts = self._tick()
+            for key, value in txn.write_set.items():
+                record = LogRecord(key, value, commit_ts, txn.txn_id)
+                buffer_id = self.log.append(record)
+                self.versions.add(
+                    key, Version(commit_ts, value, buffer_id)
                 )
-        self.machine.cpu.charge("timestamp_alloc", category="tc")
-        commit_ts = self._tick()
-        for key, value in txn.write_set.items():
-            record = LogRecord(key, value, commit_ts, txn.txn_id)
-            buffer_id = self.log.append(record)
-            self.versions.add(
-                key, Version(commit_ts, value, buffer_id)
-            )
-            self.read_cache.invalidate(key)
-            # The DC update is blind: no read, just a delta post
-            # (Section 6.2 — "all transactional updates are blind updates
-            # at the Bw-tree").
-            if value is None:
-                self.dc.delete(key)
-            else:
-                self.dc.upsert(key, value)
-            self.counters.add("tc.writes_applied")
-        if self.config.sync_commit and txn.write_set:
-            self.log.flush()
-        txn.status = TxnStatus.COMMITTED
-        del self._active[txn.txn_id]
-        self.counters.add("tc.commits")
-        self._maybe_gc_versions()
-        return commit_ts
+                self.read_cache.invalidate(key)
+                # The DC update is blind: no read, just a delta post
+                # (Section 6.2 — "all transactional updates are blind
+                # updates at the Bw-tree").
+                if value is None:
+                    self.dc.delete(key)
+                else:
+                    self.dc.upsert(key, value)
+                self.counters.add("tc.writes_applied")
+            if self.config.sync_commit and txn.write_set:
+                self.log.flush()
+            txn.status = TxnStatus.COMMITTED
+            del self._active[txn.txn_id]
+            self.counters.add("tc.commits")
+            self._maybe_gc_versions()
+            return commit_ts
 
     def commit_batch(
         self, txns: Sequence[Transaction], sequential: bool = False
@@ -168,59 +172,62 @@ class TransactionComponent:
         """
         for txn in txns:
             self._require_active(txn)
-        # One timestamp-range allocation covers the whole group.
-        self.machine.cpu.charge("timestamp_alloc", category="tc")
-        results: List[Optional[int]] = []
-        records: List[LogRecord] = []
-        committed: List[Tuple[Transaction, int, int, int]] = []
-        batch_written: set = set()
-        for txn in txns:
-            conflict = False
-            for key in txn.write_set:
-                if key in batch_written:
-                    if not sequential:
+        self.batch_sizes.observe(float(len(txns)))
+        with self.machine.trace_span("tc.commit_batch", "tc"):
+            # One timestamp-range allocation covers the whole group.
+            self.machine.cpu.charge("timestamp_alloc", category="tc")
+            results: List[Optional[int]] = []
+            records: List[LogRecord] = []
+            committed: List[Tuple[Transaction, int, int, int]] = []
+            batch_written: set = set()
+            for txn in txns:
+                conflict = False
+                for key in txn.write_set:
+                    if key in batch_written:
+                        if not sequential:
+                            conflict = True
+                            break
+                        continue
+                    newest = self.versions.newest_timestamp(key)
+                    if newest is not None and newest > txn.read_timestamp:
                         conflict = True
                         break
+                if conflict:
+                    self.abort(txn)
+                    results.append(None)
                     continue
-                newest = self.versions.newest_timestamp(key)
-                if newest is not None and newest > txn.read_timestamp:
-                    conflict = True
-                    break
-            if conflict:
-                self.abort(txn)
-                results.append(None)
-                continue
-            commit_ts = self._tick()
-            start = len(records)
-            for key, value in txn.write_set.items():
-                records.append(LogRecord(key, value, commit_ts, txn.txn_id))
-                batch_written.add(key)
-            committed.append((txn, start, len(records), commit_ts))
-            results.append(commit_ts)
-        buffer_ids = self.log.append_batch(records)
-        dc_ops: List[Tuple[bytes, Optional[bytes]]] = []
-        for txn, start, end, commit_ts in committed:
-            for index in range(start, end):
-                record = records[index]
-                self.versions.add(
-                    record.key,
-                    Version(commit_ts, record.value, buffer_ids[index]),
-                )
-                self.read_cache.invalidate(record.key)
-                dc_ops.append((record.key, record.value))
-                self.counters.add("tc.writes_applied")
-            txn.status = TxnStatus.COMMITTED
-            del self._active[txn.txn_id]
-            self.counters.add("tc.commits")
-        if dc_ops:
-            # Blind posts, exactly as in :meth:`commit`, but the DC enters
-            # its epoch and dispatches once for the whole group.
-            self.dc.apply_blind_batch(dc_ops)
-        if self.config.sync_commit and records:
-            self.log.flush()
-        self.counters.add("tc.group_commits")
-        self._maybe_gc_versions()
-        return results
+                commit_ts = self._tick()
+                start = len(records)
+                for key, value in txn.write_set.items():
+                    records.append(
+                        LogRecord(key, value, commit_ts, txn.txn_id))
+                    batch_written.add(key)
+                committed.append((txn, start, len(records), commit_ts))
+                results.append(commit_ts)
+            buffer_ids = self.log.append_batch(records)
+            dc_ops: List[Tuple[bytes, Optional[bytes]]] = []
+            for txn, start, end, commit_ts in committed:
+                for index in range(start, end):
+                    record = records[index]
+                    self.versions.add(
+                        record.key,
+                        Version(commit_ts, record.value, buffer_ids[index]),
+                    )
+                    self.read_cache.invalidate(record.key)
+                    dc_ops.append((record.key, record.value))
+                    self.counters.add("tc.writes_applied")
+                txn.status = TxnStatus.COMMITTED
+                del self._active[txn.txn_id]
+                self.counters.add("tc.commits")
+            if dc_ops:
+                # Blind posts, exactly as in :meth:`commit`, but the DC
+                # enters its epoch and dispatches once for the whole group.
+                self.dc.apply_blind_batch(dc_ops)
+            if self.config.sync_commit and records:
+                self.log.flush()
+            self.counters.add("tc.group_commits")
+            self._maybe_gc_versions()
+            return results
 
     def abort(self, txn: Transaction) -> None:
         """Abort: buffered writes are simply discarded."""
@@ -260,39 +267,40 @@ class TransactionComponent:
         self.machine.begin_operation()
         txn.read_keys.append(key)
         self.counters.add("tc.reads")
+        with self.machine.trace_span("tc.read", "tc"):
+            # Read-your-own-writes.
+            if key in txn.write_set:
+                self.counters.add("tc.own_write_hits")
+                return txn.write_set[key]
 
-        # Read-your-own-writes.
-        if key in txn.write_set:
-            self.counters.add("tc.own_write_hits")
-            return txn.write_set[key]
+            # 1. MVCC version store — may be servable from a retained log
+            #    buffer (updated-record cache).
+            version, examined = self.versions.visible(
+                key, txn.read_timestamp)
+            del examined  # already charged per visibility check
+            if version is not None:
+                if self.log.is_buffer_retained(version.log_buffer_id):
+                    self.counters.add("tc.log_cache_hits")
+                    return version.value
+                # The buffer holding the version was dropped; fall through
+                # to the read cache / DC for the record bytes.
+                self.counters.add("tc.log_cache_stale")
 
-        # 1. MVCC version store — may be servable from a retained log
-        #    buffer (updated-record cache).
-        version, examined = self.versions.visible(key, txn.read_timestamp)
-        del examined  # already charged per visibility check
-        if version is not None:
-            if self.log.is_buffer_retained(version.log_buffer_id):
-                self.counters.add("tc.log_cache_hits")
-                return version.value
-            # The buffer holding the version was dropped; fall through to
-            # the read cache / DC for the record bytes.
-            self.counters.add("tc.log_cache_stale")
+            # 2. Read cache of records previously fetched from the DC.
+            hit, value = self.read_cache.lookup(key)
+            if hit:
+                self.counters.add("tc.read_cache_hits")
+                return value
 
-        # 2. Read cache of records previously fetched from the DC.
-        hit, value = self.read_cache.lookup(key)
-        if hit:
-            self.counters.add("tc.read_cache_hits")
-            return value
-
-        # 3. Full trip to the data component (may cost an I/O).
-        result = self.dc.get_with_stats(key)
-        self.counters.add("tc.dc_reads")
-        if result.ios > 0:
-            self.counters.add("tc.dc_read_ios", result.ios)
-        if result.found and result.value is not None:
-            self.read_cache.insert(key, result.value)
-            return result.value
-        return None
+            # 3. Full trip to the data component (may cost an I/O).
+            result = self.dc.get_with_stats(key)
+            self.counters.add("tc.dc_reads")
+            if result.ios > 0:
+                self.counters.add("tc.dc_read_ios", result.ios)
+            if result.found and result.value is not None:
+                self.read_cache.insert(key, result.value)
+                return result.value
+            return None
 
     def write(self, txn: Transaction, key: bytes,
               value: Optional[bytes]) -> None:

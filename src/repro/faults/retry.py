@@ -51,6 +51,17 @@ class RetryStats:
     retries: int = 0
     exhausted: int = 0
 
+    def retry_rate(self) -> float:
+        """Fraction of attempts that were retries.
+
+        Returns 0.0 on an empty run (no attempts yet) — the repo-wide
+        ratio-accessor contract: empty accounting reads as zero, never
+        as a ``ZeroDivisionError``.
+        """
+        if self.attempts == 0:
+            return 0.0
+        return self.retries / self.attempts
+
 
 def run_with_retries(
     machine,

@@ -4,6 +4,11 @@ See DESIGN.md Section 2 for why the reproduction runs on a cost-accounted
 simulator instead of wall-clock timing: operation *counts* come from real
 data structures, per-primitive *prices* come from the calibrated
 :class:`~repro.hardware.cpu.CostTable`.
+
+Observability hooks live on :class:`~repro.hardware.machine.Machine`:
+``attach_tracer`` installs a :class:`~repro.observability.spans.Tracer`
+and ``trace_span`` opens per-operation cost-attribution spans (a no-op
+singleton when untraced).
 """
 
 from .clock import VirtualClock

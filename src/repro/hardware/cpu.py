@@ -20,9 +20,23 @@ Calibration targets (DESIGN.md Section 5):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace, fields
+from typing import Protocol
 
 from .clock import VirtualClock
 from .metrics import CounterSet
+
+
+class ChargeSink(Protocol):
+    """Observer of individual CPU charges (e.g. a trace span tracer).
+
+    ``on_charge`` sees every charge in billing order with the exact
+    amount added to ``busy_us``, so a sink can mirror the CPU model's
+    accounting bit-for-bit (the reconciliation contract of
+    :mod:`repro.observability.spans`).
+    """
+
+    def on_charge(self, category: str, microseconds: float) -> None:
+        ...
 
 
 @dataclass(frozen=True)
@@ -120,6 +134,9 @@ class CpuModel:
         self.clock = clock if clock is not None else VirtualClock()
         self.counters = CounterSet()
         self._busy_us = 0.0
+        # Optional per-charge observer (a tracer); ``None`` keeps the hot
+        # path at one attribute check per charge.
+        self.sink: ChargeSink | None = None
 
     @property
     def busy_us(self) -> float:
@@ -137,6 +154,9 @@ class CpuModel:
             raise ValueError(f"cannot charge negative work: {microseconds}")
         self._busy_us += microseconds
         self.counters.add(f"cpu_us.{category}", microseconds)
+        sink = self.sink
+        if sink is not None:
+            sink.on_charge(category, microseconds)
         self.clock.advance_us(microseconds / self.cores)
 
     def charge(self, primitive: str, count: float = 1.0,

@@ -8,8 +8,9 @@ accounting into the throughput numbers the paper's analysis consumes.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, ContextManager
 
 from .clock import VirtualClock
 from .cpu import CostTable, CpuModel
@@ -20,6 +21,13 @@ from .ssd import SimulatedSsd, SsdSpec
 
 if TYPE_CHECKING:  # deliberate: hardware stays import-independent of faults
     from ..faults.plan import FaultInjector
+    from ..observability.spans import Tracer
+
+#: Shared no-op context manager returned by :meth:`Machine.trace_span`
+#: when no tracer is attached.  ``nullcontext`` is stateless, so one
+#: instance serves every call — the untraced hot path pays a single
+#: attribute check plus an enter/exit on this singleton.
+_NULL_SPAN: ContextManager[None] = contextlib.nullcontext()
 
 
 @dataclass(frozen=True)
@@ -102,16 +110,59 @@ class Machine:
         # this machine (or every shard machine of a fleet).  ``None``
         # keeps the hot paths at a single attribute check per site.
         self.faults: FaultInjector | None = None
+        # Optional trace-span tracer (repro.observability); installed via
+        # :meth:`attach_tracer`, same single-attribute-check pattern.
+        self.tracer: Tracer | None = None
+
+    # --- tracing -----------------------------------------------------------
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Install a tracer: spans open on the hot path.  A *detailed*
+        tracer additionally becomes the CPU charge sink so every charge
+        is mirrored per category; the default tracer costs nothing per
+        charge.  Attach right after :meth:`reset_accounting` so the
+        tracer's totals reconcile bit-for-bit with :meth:`summary`."""
+        self.tracer = tracer
+        self.cpu.sink = tracer if tracer.detailed else None
+
+    def detach_tracer(self) -> None:
+        """Remove the tracer; the hot path reverts to no-op spans."""
+        self.tracer = None
+        self.cpu.sink = None
+
+    def trace_span(self, name: str, component: str) -> ContextManager[object]:
+        """A span context for ``with machine.trace_span(...):`` sites.
+
+        Returns the shared no-op context when tracing is off, so
+        instrumented methods cost one attribute check when untraced.
+        The default-mode stash is inlined here (rather than calling
+        ``tracer.span``) because this runs once per span on the hot
+        path.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return _NULL_SPAN
+        if tracer.detailed:
+            return tracer.span(name, component)
+        tracer._pending_name = name
+        tracer._pending_component = component
+        tracer._pending_notes = None
+        return tracer._handle
 
     def latency_window(self) -> "tuple[float, float]":
-        """Snapshot (cpu busy us, device service us) to bracket one op."""
-        return self.cpu.busy_us, self.ssd.latencies.total
+        """Snapshot (cpu busy us, device service us) to bracket one op.
+
+        Reads the SSD's O(1) running service-time scalar, not
+        ``latencies.total`` (an O(n) fsum) — this runs once per
+        operation on the hot path.
+        """
+        return self.cpu.busy_us, self.ssd.service_us_total
 
     def observe_latency(self, window: "tuple[float, float]") -> float:
         """Record one operation's latency since ``window``; returns us."""
         cpu_before, service_before = window
         latency = (self.cpu.busy_us - cpu_before) \
-            + (self.ssd.latencies.total - service_before)
+            + (self.ssd.service_us_total - service_before)
         self.op_latencies.observe(latency)
         return latency
 

@@ -86,6 +86,11 @@ class SimulatedSsd:
         self.latencies = Histogram("ssd_latency_us")
         self._busy_seconds = 0.0
         self._stored_bytes = 0
+        # Running scalars duplicating latencies.count / latencies.total:
+        # the histogram's ``total`` is an O(n) fsum, far too slow for the
+        # per-span snapshots trace spans take around every hot-path call.
+        self._total_ios = 0
+        self._service_us_total = 0.0
 
     # --- data-path operations ------------------------------------------
 
@@ -107,6 +112,8 @@ class SimulatedSsd:
         self._busy_seconds += max(per_io, transfer)
         service_us = latency_us + transfer * 1e6
         self.latencies.observe(service_us)
+        self._total_ios += 1
+        self._service_us_total += service_us
         return service_us
 
     # --- capacity accounting --------------------------------------------
@@ -144,14 +151,23 @@ class SimulatedSsd:
         return self._busy_seconds
 
     @property
-    def total_ios(self) -> float:
-        return self.counters.get("ssd.reads") + self.counters.get("ssd.writes")
+    def total_ios(self) -> int:
+        """Accesses performed since the last reset (one per read/write)."""
+        return self._total_ios
+
+    @property
+    def service_us_total(self) -> float:
+        """Running sum of per-access service time (O(1), unlike
+        ``latencies.total``)."""
+        return self._service_us_total
 
     def reset(self) -> None:
         """Zero traffic accounting; stored bytes are left in place."""
         self.counters.reset()
         self.latencies.reset()
         self._busy_seconds = 0.0
+        self._total_ios = 0
+        self._service_us_total = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,42 @@
+"""Cost-attribution observability: virtual-time tracing + metrics.
+
+The paper's argument is an accounting argument — Eqs. (4)-(5) price an
+operation by summing core-seconds, I/O device share and storage rent
+along its execution path.  This package makes that accounting visible
+*per operation* instead of only as end-of-run aggregates:
+
+* :mod:`~repro.observability.spans` — trace spans stamped in virtual
+  time (``hardware.clock``; no wall clocks) and annotated with the
+  CPU/IoPath/DRAM charges each component bills, forming a
+  cost-attribution tree that reconciles exactly with ``engine.stats()``;
+* :mod:`~repro.observability.registry` — a counters/gauges/histograms
+  registry read off live components, with snapshot/delta APIs and
+  lint-checked additive fleet summing;
+* :mod:`~repro.observability.trace_cli` — ``python -m repro trace``:
+  replays a seeded workload and exports JSON / Chrome-trace output plus
+  the "$ per op by component" report citing Eq. (4)-(5) terms by name.
+
+See docs/ARCHITECTURE.md for the equation → module → span map.
+"""
+
+from .registry import MetricsRegistry, engine_registry, fleet_registry
+from .spans import (
+    COMPONENT_OF_CATEGORY,
+    SPAN_NAMES,
+    Span,
+    Tracer,
+    export_chrome,
+    export_json,
+)
+
+__all__ = [
+    "COMPONENT_OF_CATEGORY",
+    "SPAN_NAMES",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "engine_registry",
+    "export_chrome",
+    "export_json",
+    "fleet_registry",
+]

@@ -1,0 +1,550 @@
+"""Virtual-time trace spans with exact cost attribution.
+
+A :class:`Tracer` attaches to one simulated :class:`~repro.hardware.machine.
+Machine`.  Components open span context managers around their hot-path
+methods (``engine.get`` → ``tc.read`` → ``bwtree.get`` →
+``page_cache.fetch`` → ``log_store.read``); each span brackets the CPU
+model's running ``busy_us`` scalar plus the SSD's access/service scalars
+and the DRAM footprint, so one operation renders as a cost-attribution
+tree.
+
+The default tracer records span boundaries as scalars appended to one
+flat event log through a single reusable context-manager handle — no
+per-span object or container survives the hot path, which keeps both
+the per-span cost and the garbage collector's generation pressure low
+enough that tracing a batched benchmark run stays under 10% wall-clock
+overhead (measured by ``python -m repro bench-engine --trace``).  The
+:class:`Span` tree is materialized from the log on first access.
+
+A *detailed* tracer (``Tracer(machine, detailed=True)``) builds the
+:class:`Span` tree live and additionally installs itself as the CPU
+model's :class:`~repro.hardware.cpu.ChargeSink`, bucketing every
+individual charge by category into the innermost open span — richer
+(per-span category splits in the export) but with a per-charge cost,
+so it is the trace CLI's mode, not the benchmark's.
+
+Everything is stamped in *virtual* time from ``machine.clock`` — no wall
+clocks anywhere (the determinism lint checks this file like any other), so
+the same seed and config produce a byte-identical exported trace.
+
+Exactness contract (pinned by tests):
+
+* :attr:`Tracer.total_us` is the difference of the CPU model's ``busy_us``
+  against its value at attach time.  Attached right after
+  ``reset_accounting()`` the baseline is exactly ``0.0``, subtraction is
+  the identity, and :meth:`Tracer.total_core_seconds` is *bit-identical*
+  to ``engine.stats()["core_seconds"]`` (both are ``busy_us * 1e-6``).
+* :meth:`Tracer.totals` reads the machine's own ``cpu_us.<category>``
+  counters (minus their attach-time baseline), so per-category totals are
+  bit-identical to the accounting ``stats()`` is built from.
+* SSD I/O and DRAM deltas are integer/scalar snapshot differences — exact.
+* Per-span subtree CPU windows partition the charge stream: re-summing
+  every span's self-CPU with :func:`math.fsum` reproduces the span-window
+  totals up to float association order (asserted at a 1e-9 relative
+  tolerance in tests), and in detailed mode the per-category buckets
+  re-sum to the counters the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # deliberate: no runtime import of hardware needed
+    from ..hardware.machine import Machine
+
+NoteValue = Union[str, int, float, bool]
+
+#: Charge category -> reporting component.  Categories not listed report
+#: under their own name.  Kept here (not in the CLI) so exporters, bench
+#: and docs agree on one mapping.
+COMPONENT_OF_CATEGORY: Dict[str, str] = {
+    "bwtree": "bwtree",
+    "cache": "page_cache",
+    "tc": "tc",
+    "tc_mvcc": "tc",
+    "tc_log": "recovery_log",
+    "tc_read_cache": "read_cache",
+    "log_store": "log_store",
+    "io_path": "io_path",
+    "io_retry": "io_path",
+    "router": "router",
+    "compression": "compression",
+    "lsm": "lsm",
+    "lsm_block_cache": "lsm",
+    "masstree": "masstree",
+}
+
+#: Span names emitted by the instrumented hot path (docs/ARCHITECTURE.md
+#: references these; tests pin that traced runs only emit names from this
+#: set so the docs cannot drift silently).
+SPAN_NAMES = frozenset({
+    "engine.get", "engine.put", "engine.delete",
+    "engine.multi_get", "engine.multi_put", "engine.multi_delete",
+    "engine.apply_batch", "engine.checkpoint", "engine.collect_garbage",
+    "tc.read", "tc.commit", "tc.commit_batch",
+    "recovery_log.flush",
+    "bwtree.get", "bwtree.upsert", "bwtree.delete", "bwtree.blind_batch",
+    "page_cache.fetch",
+    "log_store.read", "log_store.flush",
+    "shard.batch",
+})
+
+
+class Span:
+    """One traced region: virtual-time window plus the costs it billed.
+
+    ``subtree_cpu_us``, ``ssd_ios``, ``service_us`` and
+    ``dram_delta_bytes`` are subtree-wide snapshot differences (this span
+    plus every descendant); :meth:`self_cpu_us` / :meth:`self_ssd_ios`
+    subtract the children.  ``cpu_us`` holds per-category charges for the
+    span's *own* work and is populated only under a detailed tracer.
+    """
+
+    __slots__ = (
+        "name", "component", "notes", "children",
+        "begin_s", "end_s", "subtree_cpu_us", "cpu_us",
+        "ssd_ios", "service_us", "dram_delta_bytes",
+        "_tracer", "_busy0", "_ios0", "_service0", "_dram0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, component: str,
+                 notes: Optional[Dict[str, NoteValue]] = None) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.component = component
+        self.notes: Dict[str, NoteValue] = notes if notes is not None else {}
+        self.children: List["Span"] = []
+        self.begin_s = 0.0
+        self.end_s = 0.0
+        self.subtree_cpu_us = 0.0
+        self.cpu_us: Dict[str, float] = {}
+        self.ssd_ios = 0
+        self.service_us = 0.0
+        self.dram_delta_bytes = 0
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        # Hot path: read the models' private scalars through refs the
+        # tracer cached at construction — each snapshot is a handful of
+        # attribute loads, no property calls, no histogram sums.
+        tracer = self._tracer
+        self.begin_s = tracer._clock._now
+        self._busy0 = tracer._cpu._busy_us
+        ssd = tracer._ssd
+        self._ios0 = ssd._total_ios
+        self._service0 = ssd._service_us_total
+        self._dram0 = tracer._dram._current
+        tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        tracer = self._tracer
+        self.end_s = tracer._clock._now
+        self.subtree_cpu_us = tracer._cpu._busy_us - self._busy0
+        ssd = tracer._ssd
+        self.ssd_ios = ssd._total_ios - self._ios0
+        self.service_us = ssd._service_us_total - self._service0
+        self.dram_delta_bytes = tracer._dram._current - self._dram0
+        tracer._close(self)
+
+    # -- derived views ---------------------------------------------------
+
+    def self_cpu_us(self) -> float:
+        """This span's own charged core-microseconds (children excluded)."""
+        return self.subtree_cpu_us - math.fsum(
+            child.subtree_cpu_us for child in self.children)
+
+    def self_ssd_ios(self) -> int:
+        """I/Os billed here but not inside any child span."""
+        return self.ssd_ios - sum(c.ssd_ios for c in self.children)
+
+    def note(self, key: str, value: NoteValue) -> None:
+        """Attach an annotation (e.g. ``batch=64``, ``outcome="hit"``)."""
+        self.notes[key] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (virtual microseconds, recursive children)."""
+        return {
+            "name": self.name,
+            "component": self.component,
+            "begin_us": self.begin_s * 1e6,
+            "end_us": self.end_s * 1e6,
+            "self_cpu_us": self.self_cpu_us(),
+            "subtree_cpu_us": self.subtree_cpu_us,
+            "cpu_us": dict(sorted(self.cpu_us.items())),
+            "ssd_ios": self.ssd_ios,
+            "service_us": self.service_us,
+            "dram_delta_bytes": self.dram_delta_bytes,
+            "notes": dict(sorted(self.notes.items())),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """Plain-text cost-attribution tree for one span."""
+        pad = "  " * indent
+        lines = [
+            f"{pad}{self.name:<22s} cpu={self.self_cpu_us():8.3f}us "
+            f"subtree={self.subtree_cpu_us:8.3f}us ios={self.ssd_ios}"
+        ]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, subtree={self.subtree_cpu_us:.3f}us, "
+                f"children={len(self.children)})")
+
+
+class _SpanHandle:
+    """The default tracer's single reusable span context manager.
+
+    ``Tracer.span`` stashes the pending name/component on the tracer and
+    returns this shared handle; ``__enter__``/``__exit__`` append scalar
+    records to the tracer's flat event log.  The ``+=`` tuples die by
+    refcount inside the statement and the surviving floats/ints are not
+    GC-tracked, so the hot path adds (almost) nothing for the garbage
+    collector's generation counters to chew on.  Correctness under
+    nesting follows from ``with`` blocks closing LIFO: the handle itself
+    is stateless, the log carries the structure.
+    """
+
+    __slots__ = ("_tracer", "_events", "_clock", "_cpu", "_ssd", "_dram")
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+        # Flat refs to the tracer's log and model objects: one fewer
+        # indirection per attribute read on the hot path.  The tracer
+        # never reassigns any of these, so the refs cannot go stale.
+        self._events = tracer._events
+        self._clock = tracer._clock
+        self._cpu = tracer._cpu
+        self._ssd = tracer._ssd
+        self._dram = tracer._dram
+
+    def __enter__(self) -> "_SpanHandle":
+        t = self._tracer
+        ssd = self._ssd
+        self._events += (
+            t._pending_name, t._pending_component, t._pending_notes,
+            self._clock._now, self._cpu._busy_us,
+            ssd._total_ios, ssd._service_us_total, self._dram._current,
+        )
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        ssd = self._ssd
+        self._events += (
+            None, self._clock._now, self._cpu._busy_us,
+            ssd._total_ios, ssd._service_us_total, self._dram._current,
+        )
+
+
+#: Flat-log record widths: an enter record leads with the span name
+#: (a str), an exit record with ``None``.
+_ENTER_WIDTH = 8
+_EXIT_WIDTH = 6
+
+
+class Tracer:
+    """Span recording + scalar snapshots for one machine.
+
+    Install with :meth:`~repro.hardware.machine.Machine.attach_tracer`,
+    typically immediately after ``reset_accounting()`` so the tracer's
+    totals reconcile bit-for-bit with the machine's accounting.
+    """
+
+    def __init__(self, machine: "Machine", detailed: bool = False) -> None:
+        self.machine = machine
+        self.detailed = detailed
+        self._stack: List[Span] = []
+        #: Detailed mode only: charges billed while no span was open
+        #: (e.g. router hashing before a shard batch span), by category.
+        self.unattributed: Dict[str, float] = {}
+        # Cached model refs for the span hot path (see Span.__enter__ and
+        # _SpanHandle).
+        self._clock = machine.clock
+        self._cpu = machine.cpu
+        self._ssd = machine.ssd
+        self._dram = machine.dram
+        # Default mode: flat scalar event log + the one shared handle.
+        self._events: List[object] = []
+        self._handle = _SpanHandle(self)
+        self._pending_name: Optional[str] = None
+        self._pending_component: Optional[str] = None
+        self._pending_notes: Optional[Dict[str, NoteValue]] = None
+        # Detailed mode: the live span tree; default mode materializes
+        # from the event log on demand (cached by log length).
+        self._roots: List[Span] = []
+        self._mroots: List[Span] = []
+        self._mat_len = -1
+        # Attach-time baselines.  After reset_accounting() these are all
+        # exactly zero, which makes every "now - baseline" below the
+        # bitwise identity — the reconciliation contract.
+        self._busy_attach = machine.cpu._busy_us
+        self._ios_attach = machine.ssd._total_ios
+        self._service_attach = machine.ssd._service_us_total
+        self._counters_attach = {
+            name: value
+            for name, value in machine.cpu.counters.snapshot().items()
+            if name.startswith("cpu_us.")
+        }
+
+    # -- charge sink (ChargeSink protocol, detailed mode only) -----------
+
+    def on_charge(self, category: str, microseconds: float) -> None:
+        """Bucket one CPU charge into the innermost open span.
+
+        Only installed as ``cpu.sink`` when ``detailed=True``; the
+        default tracer never pays per-charge work.
+        """
+        stack = self._stack
+        bucket = stack[-1].cpu_us if stack else self.unattributed
+        bucket[category] = bucket.get(category, 0.0) + microseconds
+
+    # -- span recording ---------------------------------------------------
+
+    def span(self, name: str, component: str, **notes: NoteValue):
+        """A span context manager; open/close happens via ``with``."""
+        if self.detailed:
+            return Span(self, name, component,
+                        dict(notes) if notes else None)
+        self._pending_name = name
+        self._pending_component = component
+        self._pending_notes = dict(notes) if notes else None
+        return self._handle
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        popped = self._stack.pop()
+        assert popped is span, (
+            f"span stack corruption: closed {span.name!r} "
+            f"but {popped.name!r} was innermost"
+        )
+
+    # -- the span tree ----------------------------------------------------
+
+    @property
+    def roots(self) -> List[Span]:
+        """Root spans in open order (materialized lazily in default
+        mode; live in detailed mode)."""
+        if self.detailed:
+            return self._roots
+        if self._mat_len != len(self._events):
+            self._mroots = self._materialize()
+            self._mat_len = len(self._events)
+        return self._mroots
+
+    def _materialize(self) -> List[Span]:
+        """Rebuild the span tree from the flat event log."""
+        events = self._events
+        roots: List[Span] = []
+        stack: List[Span] = []
+        i = 0
+        n = len(events)
+        while i < n:
+            head = events[i]
+            if head is None:
+                span = stack.pop()
+                span.end_s = events[i + 1]          # type: ignore[assignment]
+                span.subtree_cpu_us = (
+                    events[i + 2] - span._busy0)    # type: ignore[operator]
+                span.ssd_ios = (
+                    events[i + 3] - span._ios0)     # type: ignore[operator]
+                span.service_us = (
+                    events[i + 4] - span._service0)  # type: ignore[operator]
+                span.dram_delta_bytes = (
+                    events[i + 5] - span._dram0)    # type: ignore[operator]
+                i += _EXIT_WIDTH
+            else:
+                span = Span(self, head, events[i + 1],  # type: ignore[arg-type]
+                            events[i + 2])              # type: ignore[arg-type]
+                span.begin_s = events[i + 3]        # type: ignore[assignment]
+                span._busy0 = events[i + 4]         # type: ignore[assignment]
+                span._ios0 = events[i + 5]          # type: ignore[assignment]
+                span._service0 = events[i + 6]      # type: ignore[assignment]
+                span._dram0 = events[i + 7]         # type: ignore[assignment]
+                if stack:
+                    stack[-1].children.append(span)
+                else:
+                    roots.append(span)
+                stack.append(span)
+                i += _ENTER_WIDTH
+        return roots
+
+    # -- reconciliation views ---------------------------------------------
+
+    @property
+    def total_us(self) -> float:
+        """Core-microseconds charged since attach (scalar difference)."""
+        return self._cpu._busy_us - self._busy_attach
+
+    def total_core_seconds(self) -> float:
+        """Traced core-seconds; bit-equal to ``stats()['core_seconds']``
+        when the tracer was attached right after ``reset_accounting()``."""
+        return self.total_us * 1e-6
+
+    def traced_ssd_ios(self) -> int:
+        """Device I/Os since attach (exact integer difference)."""
+        return self._ssd._total_ios - self._ios_attach
+
+    def totals(self) -> Dict[str, float]:
+        """Charged us per category, from the machine's own counters.
+
+        Attached right after ``reset_accounting()`` the baselines are
+        absent/zero, so the values are bit-identical to the
+        ``cpu_us.<category>`` counters ``stats()`` aggregates.
+        """
+        baseline = self._counters_attach
+        out: Dict[str, float] = {}
+        for name, value in self._cpu.counters.snapshot().items():
+            if not name.startswith("cpu_us."):
+                continue
+            delta = value - baseline.get(name, 0.0)
+            if delta != 0.0:
+                out[name[len("cpu_us."):]] = delta
+        return out
+
+    def span_cpu_us(self) -> float:
+        """fsum of every span's self-CPU (root-subtree partition).
+
+        Equals the fsum of the root spans' subtree windows up to float
+        association order; nested windows partition their parent exactly.
+        """
+        total = 0.0
+
+        def visit(span: Span) -> float:
+            acc = span.self_cpu_us()
+            for child in span.children:
+                acc += visit(child)
+            return acc
+
+        for root in self.roots:
+            total += visit(root)
+        return total
+
+    def root_cpu_us(self) -> float:
+        """fsum of the root spans' subtree CPU windows."""
+        return math.fsum(root.subtree_cpu_us for root in self.roots)
+
+    def unattributed_us(self) -> float:
+        """Charged us not covered by any root span window (e.g. router
+        hashing outside ``shard.batch``); ``total_us`` minus root windows."""
+        return self.total_us - self.root_cpu_us()
+
+    def cpu_us_by_component(self) -> Dict[str, float]:
+        """Traced core-microseconds grouped by reporting component."""
+        grouped: Dict[str, float] = {}
+        for category, us in self.totals().items():
+            component = COMPONENT_OF_CATEGORY.get(category, category)
+            grouped[component] = grouped.get(component, 0.0) + us
+        return grouped
+
+    def ssd_ios_by_component(self) -> Dict[str, int]:
+        """Self-I/Os of every span grouped by the span's component."""
+        grouped: Dict[str, int] = {}
+
+        def visit(span: Span) -> None:
+            own = span.self_ssd_ios()
+            if own:
+                grouped[span.component] = grouped.get(span.component, 0) + own
+            for child in span.children:
+                visit(child)
+
+        for root in self.roots:
+            visit(root)
+        unrooted = self.traced_ssd_ios() - sum(
+            root.ssd_ios for root in self.roots)
+        if unrooted:
+            grouped["unattributed"] = grouped.get("unattributed", 0) + unrooted
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Tracer(roots={len(self.roots)}, "
+                f"total_us={self.total_us:.3f})")
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+def export_json(tracers: List[Tracer], config: Dict[str, object],
+                max_roots: Optional[int] = None) -> str:
+    """Deterministic JSON export: same seed + config ⇒ byte-identical.
+
+    ``tracers`` carries one tracer per shard (a single engine is a
+    one-entry list).  ``max_roots`` caps exported root spans per shard
+    (totals always cover the full run; the cap is recorded, never
+    silent).
+    """
+    shards = []
+    for shard_id, tracer in enumerate(tracers):
+        roots = tracer.roots
+        exported = roots if max_roots is None else roots[:max_roots]
+        shards.append({
+            "shard": shard_id,
+            "detailed": tracer.detailed,
+            "total_us": tracer.total_us,
+            "totals_by_category": dict(sorted(tracer.totals().items())),
+            "unattributed_us": tracer.unattributed_us(),
+            "unattributed_by_category": dict(
+                sorted(tracer.unattributed.items())),
+            "ssd_ios": tracer.traced_ssd_ios(),
+            "cpu_us_by_component": dict(
+                sorted(tracer.cpu_us_by_component().items())),
+            "ssd_ios_by_component": dict(
+                sorted(tracer.ssd_ios_by_component().items())),
+            "roots_total": len(roots),
+            "roots_exported": len(exported),
+            "spans": [span.to_dict() for span in exported],
+        })
+    doc = {"schema": 1, "kind": "repro-trace", "config": config,
+           "shards": shards}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def export_chrome(tracers: List[Tracer],
+                  max_roots: Optional[int] = None) -> str:
+    """Chrome trace-event format (``chrome://tracing`` / Perfetto).
+
+    Complete ("X") events on virtual-time microseconds; ``pid`` is the
+    shard index, so a fleet renders as one process row per shard.
+    """
+    events: List[Dict[str, object]] = []
+
+    def emit(span: Span, pid: int) -> None:
+        events.append({
+            "name": span.name,
+            "cat": span.component,
+            "ph": "X",
+            "ts": span.begin_s * 1e6,
+            "dur": (span.end_s - span.begin_s) * 1e6,
+            "pid": pid,
+            "tid": 1,
+            "args": {
+                "self_cpu_us": span.self_cpu_us(),
+                "cpu_us": dict(sorted(span.cpu_us.items())),
+                "ssd_ios": span.ssd_ios,
+                "notes": dict(sorted(span.notes.items())),
+            },
+        })
+        for child in span.children:
+            emit(child, pid)
+
+    for shard_id, tracer in enumerate(tracers):
+        roots = tracer.roots
+        if max_roots is not None:
+            roots = roots[:max_roots]
+        for root in roots:
+            emit(root, shard_id)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"

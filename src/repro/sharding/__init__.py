@@ -5,6 +5,9 @@ DeuteronomyEngine` shards behind a stable hash router; batched requests
 scatter once into per-shard sub-batches, ride each shard's group-commit
 path, and gather back in input order.  See ``router`` for the
 partitioning contract and ``engine`` for the fleet semantics.
+``ShardedEngine.attach_tracers`` puts one
+:class:`~repro.observability.spans.Tracer` on every shard machine;
+fleet traced totals reconcile with ``stats()['fleet']`` exactly.
 """
 
 from .engine import ShardedEngine

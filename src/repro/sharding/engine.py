@@ -167,7 +167,11 @@ class ShardedEngine:
                     # shard sub-batches: earlier shards committed (and
                     # possibly flushed), later shards never saw the batch.
                     self.faults.hit("sharded.apply_batch.boundary")
-                return run_shard(shard, sub)
+                # Shard-local span: the scatter's router hashing is
+                # charged before any span opens and shows up as the
+                # tracer's unattributed "router" bucket by design.
+                with shard.machine.trace_span("shard.batch", "sharding"):
+                    return run_shard(shard, sub)
 
             jobs.append(job)
             job_positions.append(positions[shard_id])
@@ -258,6 +262,25 @@ class ShardedEngine:
         """Zero every shard machine's traffic counters (post-warmup)."""
         for shard in self.shards:
             shard.machine.reset_accounting()
+
+    def attach_tracers(self, detailed: bool = False) -> list:
+        """Install one fresh tracer per shard machine; returns them in
+        shard order.
+
+        Per-shard tracers mirror each shard machine's accounting
+        bit-for-bit (attach right after :meth:`reset_accounting`), so
+        fleet reconciliation is the shard-order sum of per-shard totals —
+        the same sum :meth:`stats` computes for ``fleet`` keys.
+        ``detailed`` forwards to the tracer (per-charge category buckets).
+        """
+        from ..observability.spans import Tracer
+
+        tracers = []
+        for shard in self.shards:
+            tracer = Tracer(shard.machine, detailed=detailed)
+            shard.machine.attach_tracer(tracer)
+            tracers.append(tracer)
+        return tracers
 
     # --- recovery ------------------------------------------------------
 

@@ -390,62 +390,67 @@ class PageCache:
             raise ValueError(
                 f"page {entry.page_id} has no flash images to fetch"
             )
-        state = entry.state
-        resident_covers_flash = (
-            state is not None
-            and state.flushed_delta_count == entry.flushed_delta_records
-        )
-        if state is not None and resident_covers_flash:
-            # Record-cache case: the resident delta list already contains
-            # every flash delta record, so only the base image is needed.
-            ios += self._read_base_into(entry, state)
-            self.resize(entry)
-        else:
-            # Fully evicted page, or a blind update was posted while the
-            # state was dropped: read the whole chain and merge.  Resident
-            # (unflushed) deltas are newer than anything on flash.
-            unflushed: List = []
-            if state is not None:
-                cut = len(state.deltas) - state.flushed_delta_count
-                unflushed = state.deltas[:cut]
-            rebuilt = DataPageState(entry.page_id, base=None, deltas=[])
-            flushed_deltas: List = []
-            for index, addr in enumerate(entry.flash_chain):
-                result = self.store.read(addr)
-                if not result.from_write_buffer:
-                    ios += 1
-                image = result.image
-                self.machine.cpu.charge(
-                    "copy_per_byte", addr.nbytes, category="cache"
-                )
-                if index == 0:
-                    if image.kind != "full":
-                        raise RuntimeError(
-                            f"page {entry.page_id}: chain head is not full"
-                        )
-                    rebuilt.install_base(list(image.records))
-                else:
-                    if image.kind != "delta":
-                        raise RuntimeError(
-                            f"page {entry.page_id}: chain tail is not delta"
-                        )
-                    flushed_deltas.extend(image.deltas)
-            # Newest first: unflushed resident deltas, then flash deltas
-            # (which arrive oldest-first).
-            rebuilt.deltas = unflushed + list(reversed(flushed_deltas))
-            rebuilt.flushed_delta_count = len(flushed_deltas)
-            rebuilt.base_flushed = True
-            was_tracked = entry.page_id in self._resident
-            entry.state = rebuilt
-            self.machine.cpu.charge("page_install", category="cache")
-            if was_tracked:
+        with self.machine.trace_span("page_cache.fetch", "page_cache"):
+            state = entry.state
+            resident_covers_flash = (
+                state is not None
+                and state.flushed_delta_count == entry.flushed_delta_records
+            )
+            if state is not None and resident_covers_flash:
+                # Record-cache case: the resident delta list already
+                # contains every flash delta record, so only the base
+                # image is needed.
+                ios += self._read_base_into(entry, state)
                 self.resize(entry)
-                self.touch(entry)
             else:
-                self.register(entry)
-        self.stats.fetches += 1
-        self.stats.fetch_ios += ios
-        return ios
+                # Fully evicted page, or a blind update was posted while
+                # the state was dropped: read the whole chain and merge.
+                # Resident (unflushed) deltas are newer than anything on
+                # flash.
+                unflushed: List = []
+                if state is not None:
+                    cut = len(state.deltas) - state.flushed_delta_count
+                    unflushed = state.deltas[:cut]
+                rebuilt = DataPageState(entry.page_id, base=None, deltas=[])
+                flushed_deltas: List = []
+                for index, addr in enumerate(entry.flash_chain):
+                    result = self.store.read(addr)
+                    if not result.from_write_buffer:
+                        ios += 1
+                    image = result.image
+                    self.machine.cpu.charge(
+                        "copy_per_byte", addr.nbytes, category="cache"
+                    )
+                    if index == 0:
+                        if image.kind != "full":
+                            raise RuntimeError(
+                                f"page {entry.page_id}: chain head is "
+                                f"not full"
+                            )
+                        rebuilt.install_base(list(image.records))
+                    else:
+                        if image.kind != "delta":
+                            raise RuntimeError(
+                                f"page {entry.page_id}: chain tail is "
+                                f"not delta"
+                            )
+                        flushed_deltas.extend(image.deltas)
+                # Newest first: unflushed resident deltas, then flash
+                # deltas (which arrive oldest-first).
+                rebuilt.deltas = unflushed + list(reversed(flushed_deltas))
+                rebuilt.flushed_delta_count = len(flushed_deltas)
+                rebuilt.base_flushed = True
+                was_tracked = entry.page_id in self._resident
+                entry.state = rebuilt
+                self.machine.cpu.charge("page_install", category="cache")
+                if was_tracked:
+                    self.resize(entry)
+                    self.touch(entry)
+                else:
+                    self.register(entry)
+            self.stats.fetches += 1
+            self.stats.fetch_ios += ios
+            return ios
 
     def _read_base_into(self, entry: PageEntry, state: DataPageState) -> int:
         """Read the chain-head full image into ``state``; returns I/Os."""

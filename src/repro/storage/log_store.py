@@ -123,8 +123,10 @@ class LogStructuredStore:
                 faults.hit("log_store.flush")
             self.machine.ssd.write(used)
 
-        run_with_retries(self.machine, write_segment, stats=self.retry_stats)
-        self.machine.ssd.store_bytes(used)
+        with self.machine.trace_span("log_store.flush", "log_store"):
+            run_with_retries(self.machine, write_segment,
+                             stats=self.retry_stats)
+            self.machine.ssd.store_bytes(used)
         # The device has acked: only now does the segment exist.  A crash
         # before this point loses the whole open buffer and nothing else.
         # Images invalidated while still buffered leave holes: they count
@@ -159,13 +161,14 @@ class LogStructuredStore:
         image = self._payloads.get((addr.segment_id, addr.offset))
         if image is None:
             raise KeyError(f"no image at {addr}")
-        self.machine.io_path.charge_round_trip(addr.nbytes)
-        service_us = self.machine.ssd.read(addr.nbytes)
-        self.machine.cpu.charge(
-            "copy_per_byte", addr.nbytes, category="log_store"
-        )
-        return ReadResult(image, from_write_buffer=False,
-                          service_us=service_us)
+        with self.machine.trace_span("log_store.read", "log_store"):
+            self.machine.io_path.charge_round_trip(addr.nbytes)
+            service_us = self.machine.ssd.read(addr.nbytes)
+            self.machine.cpu.charge(
+                "copy_per_byte", addr.nbytes, category="log_store"
+            )
+            return ReadResult(image, from_write_buffer=False,
+                              service_us=service_us)
 
     # --- occupancy ------------------------------------------------------------
 

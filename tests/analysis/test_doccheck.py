@@ -1,0 +1,74 @@
+"""doc-check: backticked ``repro.*`` references resolve against source.
+
+The architecture doc is the contract: `python -m repro doc-check` (and
+the CI docs job) fail when a cited symbol disappears.  These tests pin
+the checker's resolution rules on synthetic docs and keep the real
+docs/ARCHITECTURE.md green from inside the test suite too.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import repro
+from repro.analysis.doccheck import DocChecker, extract_symbols
+
+PACKAGE_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _checker() -> DocChecker:
+    return DocChecker(PACKAGE_ROOT)
+
+
+def test_architecture_doc_has_no_stale_symbols():
+    doc = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+    assert _checker().check_doc(str(doc)) == []
+
+
+def test_extract_symbols_only_matches_backticked_repro_refs():
+    text = (
+        "see `repro.hardware.machine.Machine.summary` and\n"
+        "`other.package.thing`, plus bare repro.core.mixture text\n"
+        "and `repro.workloads.ycsb.WorkloadSpec`.\n"
+    )
+    symbols = extract_symbols(text)
+    assert (1, "repro.hardware.machine.Machine.summary") in symbols
+    assert (3, "repro.workloads.ycsb.WorkloadSpec") in symbols
+    assert all(symbol.startswith("repro.") for __, symbol in symbols)
+    assert len(symbols) == 2  # unbackticked / foreign refs ignored
+
+
+def test_module_class_member_and_instance_attrs_resolve():
+    checker = _checker()
+    assert checker.resolve("repro.observability") is None
+    assert checker.resolve("repro.observability.spans.Tracer") is None
+    # Methods, properties and self.<attr> instance attributes all count.
+    assert checker.resolve(
+        "repro.observability.spans.Tracer.cpu_us_by_component") is None
+    assert checker.resolve(
+        "repro.hardware.machine.Machine.op_latencies") is None
+    assert checker.resolve(
+        "repro.observability.spans.SPAN_NAMES") is None
+
+
+def test_unknown_member_is_reported(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("`repro.hardware.machine.Machine.frobnicate`\n")
+    errors = _checker().check_doc(str(doc))
+    assert len(errors) == 1
+    assert "frobnicate" in errors[0]
+
+
+def test_unknown_module_is_reported():
+    reason = _checker().resolve("repro.nonexistent.Widget")
+    assert reason is not None
+
+
+def test_doc_without_any_symbols_is_an_error(tmp_path):
+    doc = tmp_path / "empty.md"
+    doc.write_text("prose with no symbol citations\n")
+    errors = _checker().check_doc(str(doc))
+    assert errors
+    assert "no `repro.*` symbol references" in errors[0]

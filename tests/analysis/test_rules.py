@@ -386,3 +386,124 @@ class TestCounterAdditivity:
         assert len(findings) == 1
         assert "'commits'" in findings[0].message
         assert findings[0].path.endswith("fleet.py")
+
+
+# ---------------------------------------------------------------------------
+# observability hooks as domain touch verbs
+# ---------------------------------------------------------------------------
+
+SPAN_TOUCH_POSITIVE = """\
+class Engine:
+    def __init__(self, machine):
+        self.machine = machine
+        self.values = {}
+
+    def lookup(self, key):
+        with self.machine.trace_span("engine.get", "engine"):
+            return self.values.get(key)
+"""
+
+OBSERVE_TOUCH_POSITIVE = """\
+class Store:
+    def __init__(self, machine):
+        self.machine = machine
+        self.latencies = machine.op_latencies
+
+    def record(self, value):
+        self.latencies.observe(value)
+        return value
+"""
+
+
+class TestObservabilityTouchVerbs:
+    """``trace_span`` / ``observe`` count as domain touches: a method
+    worth a span or a hot-path metric must also charge its cost."""
+
+    RULE = "cost-accounting"
+
+    def test_span_without_charge_is_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, SPAN_TOUCH_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "Engine.lookup" in findings[0].message
+
+    def test_span_with_charge_is_clean(self, tmp_path):
+        charged = SPAN_TOUCH_POSITIVE.replace(
+            "            return self.values.get(key)",
+            "            self.machine.cpu.charge(\"lookup\", "
+            "category=\"engine\")\n"
+            "            return self.values.get(key)",
+        )
+        assert not _lint_snippet(tmp_path, charged, self.RULE)
+
+    def test_span_suppression_silences(self, tmp_path):
+        suppressed = SPAN_TOUCH_POSITIVE.replace(
+            "def lookup(self, key):",
+            "def lookup(self, key):  # repro: ignore[cost-accounting]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_observe_without_charge_is_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, OBSERVE_TOUCH_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "Store.record" in findings[0].message
+
+    def test_observe_with_charge_is_clean(self, tmp_path):
+        charged = OBSERVE_TOUCH_POSITIVE.replace(
+            "        self.latencies.observe(value)",
+            "        self.machine.cpu.charge(\"observe\", "
+            "category=\"metrics\")\n"
+            "        self.latencies.observe(value)",
+        )
+        assert not _lint_snippet(tmp_path, charged, self.RULE)
+
+
+# ---------------------------------------------------------------------------
+# counter-additivity against snapshot() providers (metrics registry)
+# ---------------------------------------------------------------------------
+
+SNAPSHOT_ADDITIVITY_POSITIVE = """\
+class Collector:
+    def snapshot(self):
+        return {"hits": 1, "misses": 2}
+
+
+REGISTRY_ADDITIVE_KEYS = ("hits", "misses", "evictions")
+
+
+def fleet_totals(collectors):
+    return {
+        key: sum(collector.snapshot()[key] for collector in collectors)
+        for key in REGISTRY_ADDITIVE_KEYS
+    }
+"""
+
+
+class TestSnapshotProviderAdditivity:
+    """The registry convention: ``snapshot()`` dict literals back
+    additive declarations just like engine ``stats()`` dicts."""
+
+    RULE = "counter-additivity"
+
+    def test_missing_snapshot_key_is_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, SNAPSHOT_ADDITIVITY_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "'evictions'" in findings[0].message
+        assert "Collector" in findings[0].message
+
+    def test_suppression_silences(self, tmp_path):
+        suppressed = SNAPSHOT_ADDITIVITY_POSITIVE.replace(
+            "(\"hits\", \"misses\", \"evictions\")",
+            "(\"hits\", \"misses\",\n"
+            "    \"evictions\",  # repro: ignore[counter-additivity]\n"
+            ")",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_complete_snapshot_provider_is_clean(self, tmp_path):
+        clean = SNAPSHOT_ADDITIVITY_POSITIVE.replace(
+            "return {\"hits\": 1, \"misses\": 2}",
+            "return {\"hits\": 1, \"misses\": 2, \"evictions\": 0}",
+        )
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
