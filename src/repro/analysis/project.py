@@ -65,6 +65,12 @@ DOMAIN_TOUCH_VERBS = frozenset({
     # span or a metric is a method whose cost must be charged.
     "trace_span",
     "observe",
+    # Asynchronous commit pipeline: enqueueing into an epoch, honoring a
+    # device ack, and resolving commit futures are commit-path work on
+    # the durable log and must carry cost charges.
+    "enqueue_epoch",
+    "resolve_future",
+    "ack",
 })
 
 #: Generic verbs that count as touches only with a store-like receiver.

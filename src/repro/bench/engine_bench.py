@@ -32,11 +32,13 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..bwtree.tree import BwTreeConfig
+from ..core.catalog import CostCatalog
 from ..deuteronomy.engine import DeuteronomyEngine
 from ..deuteronomy.tc import TcConfig
 from ..hardware.machine import Machine
 from ..hardware.metrics import Histogram
 from ..sharding import ShardedEngine
+from ..sharding.engine import LOG_TOPOLOGIES
 from ..storage.cache import EvictionPolicy
 from ..workloads.ycsb import (
     OpKind,
@@ -47,9 +49,18 @@ from ..workloads.ycsb import (
     shard_balance,
 )
 
-SCHEMA_VERSION = 3
+# v4: adds the ``commit_pipeline`` block (async epoch-commit scaling
+# curve, sync-vs-async ablation, log-topology $-per-op comparison) and
+# per-entry epoch stats in the sharded curves.
+SCHEMA_VERSION = 4
 DEFAULT_OUT = "BENCH_engine.json"
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+# YCSB-A 4-shard scaling at the v3 seed (sync commit): the WAL-bound
+# wall the async pipeline exists to break.  The CI scaling smoke asserts
+# the async path never regresses below this.
+SEED_SCALING_FLOOR = 1.73
+# Acceptance floor for the full async run at 8 shards.
+ASYNC_SCALING_FLOOR_8 = 3.0
 
 MIX_BUILDERS = {
     "a": WorkloadSpec.ycsb_a,   # 50/50 read/update — the group-commit case
@@ -194,6 +205,8 @@ def _run_sharded_mix(
     value_bytes: int,
     sync_commit: bool,
     threaded: bool,
+    commit_pipeline: bool = False,
+    log_topology: str = "colocated",
 ) -> Dict[str, object]:
     """One mix's scaling curve: batched scatter/gather at each shard count.
 
@@ -203,16 +216,25 @@ def _run_sharded_mix(
     constant and the curve isolates cross-shard routing overhead vs. the
     per-shard batching win.  Fleet throughput uses the slowest shard's
     virtual elapsed time — shards run in parallel.
+
+    With ``commit_pipeline=True`` every shard runs the asynchronous
+    epoch-based commit path (``sync_commit`` is ignored): batches leave
+    epoch flushes in flight across batch boundaries, and the run ends
+    with one fleet-wide ``drain_commits()`` so every commit future is
+    resolved before throughput is read.
     """
     builder = MIX_BUILDERS[mix]
     spec_kwargs = dict(record_count=record_count, value_bytes=value_bytes)
+    tc_config = (TcConfig(commit_pipeline=True) if commit_pipeline
+                 else TcConfig(sync_commit=sync_commit))
     curve: Dict[str, object] = {}
     for num_shards in shard_counts:
         engine = ShardedEngine(
             num_shards,
             cores_per_shard=cores_per_shard,
-            tc_config=TcConfig(sync_commit=sync_commit),
+            tc_config=tc_config,
             threaded=threaded,
+            log_topology=log_topology,
         )
         generator = WorkloadGenerator(builder(**spec_kwargs))
         engine.bulk_load(generator.load_items())
@@ -229,6 +251,10 @@ def _run_sharded_mix(
                 for op in ops[start:start + batch_size]
             ]
             engine.apply_batch(batch)
+        # Resolve every in-flight epoch before reading throughput: the
+        # asynchronous numbers must describe *durable* commits (no-op
+        # for sync shards).
+        engine.drain_commits()
         wall_seconds = time.time() - started
         stats = engine.stats()
         fleet = stats["fleet"]
@@ -249,7 +275,22 @@ def _run_sharded_mix(
             "ssd_ios": fleet["ssd_ios"],
             "shard_balance": balance,
             "wall_seconds": wall_seconds,
+            "commit_epochs": fleet["commit_epochs"],
+            "commit_wait_us": fleet["commit_wait_us"],
+            "log_device_writes": fleet["log_device_writes"],
         }
+        if commit_pipeline:
+            pipelines = [shard.tc.pipeline for shard in engine.shards
+                         if shard.tc.pipeline is not None]
+            sizes_count = sum(p.group_sizes.count for p in pipelines)
+            sizes_total = sum(p.group_sizes.total for p in pipelines)
+            curve[str(num_shards)].update({
+                "commit_group_mean": (sizes_total / sizes_count
+                                      if sizes_count else 0.0),
+                "commit_group_max": max(
+                    (p.group_sizes.maximum for p in pipelines),
+                    default=0.0),
+            })
     baseline = curve.get("1")
     if baseline is not None:
         base_rate = baseline["ops_per_sec"]
@@ -258,6 +299,106 @@ def _run_sharded_mix(
                 entry["ops_per_sec"] / base_rate if base_rate else 0.0
             )
     return curve
+
+
+def _run_commit_pipeline_block(
+    record_count: int,
+    op_count: int,
+    batch_size: int,
+    shard_counts: Tuple[int, ...],
+    cores_per_shard: int,
+    value_bytes: int,
+    threaded: bool,
+    sync_curve: Optional[Dict[str, object]],
+) -> Dict[str, object]:
+    """The schema-v4 ``commit_pipeline`` block (YCSB-A, batched path).
+
+    Three studies:
+
+    * **async_scaling** — the shard-scaling curve with the epoch-based
+      commit pipeline on (the sync curve lives in ``sharded`` as
+      before), with per-entry epoch counts, commit-wait time and group
+      sizes;
+    * **ablation** — sync vs async at the largest shard count: the
+      direct measurement of what decoupling append from ack buys;
+    * **topologies** — $-per-op at the largest shard count for each log
+      placement, priced in the paper's own terms: the execution term is
+      ``$P * core_s / (cores * ops)`` and every device I/O costs
+      ``$I / IOPS`` (data SSD and, when not colocated, the log device's
+      own writes).  ``log_capital_dollars`` reports the provisioned
+      I/O-capability capital each topology adds — 0 for colocated,
+      ``N * $I`` for per-shard drives, ``$I`` for one shared drive — so
+      the utilization-priced $/op and the capital bill can be traded
+      explicitly (the five-minute-rule revisit's axis).
+    """
+    defaults = TcConfig(commit_pipeline=True)
+    async_curve = _run_sharded_mix(
+        "a", record_count, op_count, batch_size, shard_counts,
+        cores_per_shard, value_bytes, sync_commit=False,
+        threaded=threaded, commit_pipeline=True)
+    block: Dict[str, object] = {
+        "workload": "ycsb-a",
+        "commit_interval_us": defaults.commit_interval_us,
+        "commit_epoch_bytes": defaults.commit_epoch_bytes,
+        "log_ack_latency_us": defaults.log_ack_latency_us,
+        "async_scaling": async_curve,
+    }
+    top = str(max(shard_counts))
+    async_entry = async_curve.get(top)
+    sync_entry = (sync_curve or {}).get(top)
+    if async_entry is not None and sync_entry is not None:
+        sync_rate = sync_entry["ops_per_sec"]
+        block["ablation"] = {
+            "shards": int(top),
+            "sync_ops_per_sec": sync_rate,
+            "async_ops_per_sec": async_entry["ops_per_sec"],
+            "async_speedup": (async_entry["ops_per_sec"] / sync_rate
+                              if sync_rate else 0.0),
+            "sync_scaling_vs_1": sync_entry.get("scaling_vs_1"),
+            "async_scaling_vs_1": async_entry.get("scaling_vs_1"),
+            "sync_log_flushes": sync_entry["log_flushes"],
+            "async_log_flushes": async_entry["log_flushes"],
+        }
+    catalog = CostCatalog()
+    n_shards = int(top)
+    topologies: Dict[str, object] = {}
+    for topology in LOG_TOPOLOGIES:
+        curve = _run_sharded_mix(
+            "a", record_count, op_count, batch_size, (n_shards,),
+            cores_per_shard, value_bytes, sync_commit=False,
+            threaded=threaded and topology != "shared",
+            commit_pipeline=True, log_topology=topology)
+        entry = curve[top]
+        ops = entry["operations"]
+        exec_dollars = (catalog.processor_dollars * entry["fleet_core_seconds"]
+                        / (cores_per_shard * ops)) if ops else 0.0
+        io_dollars = (catalog.ssd_io_dollars * entry["ssd_ios"]
+                      / (catalog.iops * ops)) if ops else 0.0
+        # Colocated log writes already land on the data SSD (counted in
+        # ssd_ios); dedicated/shared devices bill their own writes.
+        log_io_dollars = 0.0
+        if topology != "colocated" and ops:
+            log_io_dollars = (catalog.ssd_io_dollars
+                              * entry["log_device_writes"]
+                              / (catalog.iops * ops))
+        capital = {
+            "colocated": 0.0,
+            "per-shard": n_shards * catalog.ssd_io_dollars,
+            "shared": catalog.ssd_io_dollars,
+        }[topology]
+        topologies[topology] = {
+            "shards": n_shards,
+            "ops_per_sec": entry["ops_per_sec"],
+            "exec_dollars_per_op": exec_dollars,
+            "io_dollars_per_op": io_dollars,
+            "log_io_dollars_per_op": log_io_dollars,
+            "dollars_per_op": exec_dollars + io_dollars + log_io_dollars,
+            "log_capital_dollars": capital,
+            "log_device_writes": entry["log_device_writes"],
+            "commit_wait_us": entry["commit_wait_us"],
+        }
+    block["topologies"] = topologies
+    return block
 
 
 def _run_eviction_comparison(
@@ -420,6 +561,10 @@ def run_bench(
                 mix, record_count, op_count, batch_size, shard_counts,
                 cores, value_bytes, sync_commit, threaded_shards)
     report["sharded"] = sharded
+    if shard_counts and "a" in mixes:
+        report["commit_pipeline"] = _run_commit_pipeline_block(
+            record_count, op_count, batch_size, shard_counts, cores,
+            value_bytes, threaded_shards, sharded.get("ycsb-a"))
     if eviction_comparison:
         report["eviction"] = _run_eviction_comparison(
             record_count, op_count, cores, value_bytes)
@@ -482,6 +627,49 @@ def render(report: Dict[str, object]) -> str:
                     f"{entry['tc_hit_rate']:7.3f} "
                     f"{entry['log_flushes']:8d}"
                 )
+    pipeline = report.get("commit_pipeline")
+    if pipeline:
+        lines.append("")
+        lines.append(
+            f"commit pipeline ({pipeline['workload']}, async epochs: "
+            f"{pipeline['commit_interval_us']:.0f}us window / "
+            f"{pipeline['commit_epoch_bytes']}B threshold):"
+        )
+        lines.append(
+            f"{'shards':>6s} {'ops/sec':>12s} {'scaling':>8s} "
+            f"{'epochs':>7s} {'group':>7s} {'wait us':>9s}"
+        )
+        for __, entry in sorted(pipeline["async_scaling"].items(),
+                                key=lambda kv: kv[1]["shards"]):
+            scaling = entry.get("scaling_vs_1")
+            lines.append(
+                f"{entry['shards']:6d} {entry['ops_per_sec']:12,.0f} "
+                f"{(f'{scaling:.2f}x' if scaling else '-'):>8s} "
+                f"{entry['commit_epochs']:7d} "
+                f"{entry.get('commit_group_mean', 0.0):7.1f} "
+                f"{entry['commit_wait_us']:9.1f}"
+            )
+        ablation = pipeline.get("ablation")
+        if ablation:
+            lines.append(
+                f"  ablation at {ablation['shards']} shards: sync "
+                f"{ablation['sync_ops_per_sec']:,.0f} ops/sec -> async "
+                f"{ablation['async_ops_per_sec']:,.0f} ops/sec "
+                f"({ablation['async_speedup']:.2f}x; flushes "
+                f"{ablation['sync_log_flushes']} -> "
+                f"{ablation['async_log_flushes']})"
+            )
+        lines.append(
+            f"  {'topology':<10s} {'ops/sec':>12s} {'$/op':>11s} "
+            f"{'log io $/op':>12s} {'capital $':>10s}"
+        )
+        for topology, entry in pipeline["topologies"].items():
+            lines.append(
+                f"  {topology:<10s} {entry['ops_per_sec']:>12,.0f} "
+                f"{entry['dollars_per_op']:>11.3e} "
+                f"{entry['log_io_dollars_per_op']:>12.3e} "
+                f"{entry['log_capital_dollars']:>10.0f}"
+            )
     eviction = report.get("eviction")
     if eviction:
         lines.append(
@@ -536,13 +724,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="also measure tracing overhead on batched "
                              "ycsb-a and record the per-component cost "
-                             "breakdown (schema v3 'trace' block)")
+                             "breakdown ('trace' block)")
+    parser.add_argument("--scaling-smoke", action="store_true",
+                        help="CI floor check only: run the async ycsb-a "
+                             "curve at 1 and 4 shards and fail if "
+                             f"scaling_vs_1 < {SEED_SCALING_FLOOR} (the "
+                             "v3 seed's sync-commit scaling)")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT}); "
                              "'-' skips writing")
     args = parser.parse_args(argv)
     if args.shards is not None and args.shards <= 0:
         parser.error(f"--shards must be positive, got {args.shards}")
+
+    if args.scaling_smoke:
+        curve = _run_sharded_mix(
+            "a", 500, 2000, args.batch_size, (1, 4), args.cores, 100,
+            sync_commit=False, threaded=False, commit_pipeline=True)
+        scaling = curve["4"]["scaling_vs_1"]
+        print(
+            f"scaling smoke: ycsb-a 4-shard async scaling_vs_1 = "
+            f"{scaling:.2f}x (floor {SEED_SCALING_FLOOR}x)"
+        )
+        if scaling < SEED_SCALING_FLOOR:
+            print(
+                f"FAIL: async 4-shard scaling {scaling:.2f}x dropped "
+                f"below the seed sync-commit value "
+                f"{SEED_SCALING_FLOOR}x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     if args.smoke:
         mixes = ["a"]
@@ -603,6 +815,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures.append(
                 f"4-shard ycsb-a aggregate {four['ops_per_sec']:,.0f} "
                 f"ops/sec below 1-shard {one['ops_per_sec']:,.0f}"
+            )
+    # The async pipeline exists to break the WAL-bound scaling wall:
+    # with the full curve present, 8-shard async scaling must clear the
+    # acceptance floor.
+    pipeline = report.get("commit_pipeline", {})
+    async_eight = pipeline.get("async_scaling", {}).get("8")
+    if async_eight is not None:
+        scaling = async_eight.get("scaling_vs_1", 0.0)
+        if scaling < ASYNC_SCALING_FLOOR_8:
+            failures.append(
+                f"8-shard async ycsb-a scaling {scaling:.2f}x < "
+                f"{ASYNC_SCALING_FLOOR_8}x floor"
             )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

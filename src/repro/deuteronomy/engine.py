@@ -11,6 +11,7 @@ import contextlib
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..bwtree.tree import BwTree, BwTreeConfig
+from ..hardware.logdevice import LogDevice
 from ..hardware.machine import Machine
 from .tc import (
     TcConfig,
@@ -30,11 +31,13 @@ class DeuteronomyEngine:
         tree_config: Optional[BwTreeConfig] = None,
         tc_config: Optional[TcConfig] = None,
         data_component: Optional[BwTree] = None,
+        log_device: Optional[LogDevice] = None,
     ) -> None:
         self.machine = machine
         self.dc = (data_component if data_component is not None
                    else BwTree(machine, tree_config))
-        self.tc = TransactionComponent(machine, self.dc, tc_config)
+        self.tc = TransactionComponent(machine, self.dc, tc_config,
+                                       log_device=log_device)
         # Set once this engine has been crashed-and-recovered: the engine
         # that replaced it.  Guards double recovery (see :meth:`recover`).
         self._recovered_into: Optional["DeuteronomyEngine"] = None
@@ -176,7 +179,7 @@ class DeuteronomyEngine:
     def checkpoint(self) -> None:
         """Flush the log and every dirty data page."""
         with self.machine.trace_span("engine.checkpoint", "engine"):
-            self.tc.log.flush()
+            self.tc.sync_log()
             self.dc.checkpoint()
 
     def collect_garbage(self, target_utilization: float = 0.8) -> int:
@@ -193,7 +196,7 @@ class DeuteronomyEngine:
         inversion the crash matrix's GC sites catch).
         """
         with self.machine.trace_span("engine.collect_garbage", "engine"):
-            self.tc.log.flush()
+            self.tc.sync_log()
             return self.dc.collect_garbage(target_utilization)
 
     def stats(self) -> dict:
@@ -208,10 +211,18 @@ class DeuteronomyEngine:
         summary = self.machine.summary()
         read_cache = self.tc.read_cache
         page_cache = self.dc.cache
+        pipeline = self.tc.pipeline
+        device = pipeline.device if pipeline is not None else None
+        elapsed = summary.elapsed_seconds
+        if device is not None:
+            # A dedicated (non-colocated) log device adds its own busy
+            # time as an elapsed floor; a colocated device contributes 0
+            # here (already in the machine's SSD busy seconds).
+            elapsed = max(elapsed, device.elapsed_contribution())
         return {
             "operations": summary.operations,
             "core_seconds": summary.cpu_busy_seconds,
-            "elapsed_seconds": summary.elapsed_seconds,
+            "elapsed_seconds": elapsed,
             "ssd_busy_seconds": summary.ssd_busy_seconds,
             "ssd_ios": summary.ssd_ios,
             "dram_bytes": self.machine.dram.current_bytes,
@@ -229,6 +240,16 @@ class DeuteronomyEngine:
             "page_cache_hit_rate": page_cache.hit_rate(),
             "log_flushes": self.tc.log.flushes,
             "log_batch_appends": self.tc.log.batch_appends,
+            "log_device_writes": (
+                device.submitted_writes if device is not None else 0),
+            "log_device_bytes": (
+                device.submitted_bytes if device is not None else 0),
+            "commit_epochs": (
+                pipeline.epochs_closed if pipeline is not None else 0),
+            "commit_wait_us": (
+                pipeline.commit_wait_us if pipeline is not None else 0.0),
+            "commit_futures_resolved": (
+                pipeline.futures_resolved if pipeline is not None else 0),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -11,9 +11,10 @@ buffer is dropped its records stop being servable from the TC.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..faults.retry import RetryStats, run_with_retries
+from ..hardware.logdevice import LogDevice
 from ..hardware.machine import Machine
 
 DRAM_TAG = "tc_recovery_log"
@@ -46,6 +47,11 @@ class _Buffer:
     # bookkeeping leaves this ahead of ``flushed``, and a re-flush of
     # the same buffer must not duplicate durable records.
     durable_upto: int = 0
+    # Sealed: rotated out of the append path (the async commit pipeline
+    # has submitted or is about to submit it) but not yet durable.  The
+    # retention budget never drops a sealed-unflushed buffer — its
+    # records are still owed to ``durable_records``.
+    sealed: bool = False
 
 
 class RecoveryLog:
@@ -67,12 +73,23 @@ class RecoveryLog:
         self._retained_bytes = 0
         self.flushes = 0
         self.appended_records = 0
+        self.appended_bytes = 0
         self.batch_appends = 0
         self.dropped_buffers = 0
         self.retry_stats = RetryStats()
         # Records whose buffer reached the SSD: the durable redo log that
         # survives a crash (the in-memory retained copies do not).
         self.durable_records: List[LogRecord] = []
+        # Sealed buffers whose device ack is still outstanding (async
+        # commit pipeline); a synchronous flush is only legal at zero.
+        self._sealed_pending = 0
+        # Hook invoked instead of a synchronous ``flush()`` when the open
+        # buffer fills mid-append.  The async commit pipeline installs a
+        # seal-and-submit spill here so a full buffer joins the FIFO
+        # flush queue *behind* older sealed buffers — a synchronous flush
+        # at that point would make the durable log a non-prefix of the
+        # append order.
+        self.on_buffer_full: Optional[Callable[[], None]] = None
 
     # --- append path --------------------------------------------------------
 
@@ -90,7 +107,7 @@ class RecoveryLog:
             )
         current = self._buffers[-1]
         if current.nbytes + nbytes > self.buffer_bytes:
-            self.flush()
+            self._spill_full_buffer()
             current = self._buffers[-1]
         current.records.append(record)
         current.nbytes += nbytes
@@ -99,6 +116,7 @@ class RecoveryLog:
         self.machine.cpu.charge("log_append_per_byte", nbytes,
                                 category="tc_log")
         self.appended_records += 1
+        self.appended_bytes += nbytes
         return current.buffer_id
 
     def append_batch(self, records: Sequence[LogRecord]) -> List[int]:
@@ -123,7 +141,7 @@ class RecoveryLog:
                 )
             current = buffers[-1]
             if current.nbytes + nbytes > self.buffer_bytes:
-                self.flush()
+                self._spill_full_buffer()
                 current = buffers[-1]
             current.records.append(record)
             current.nbytes += nbytes
@@ -135,8 +153,97 @@ class RecoveryLog:
             self.machine.cpu.charge("log_append_per_byte", total_bytes,
                                     category="tc_log")
         self.appended_records += len(buffer_ids)
+        self.appended_bytes += total_bytes
         self.batch_appends += 1
         return buffer_ids
+
+    def _spill_full_buffer(self) -> None:
+        """The open buffer filled mid-append: flush it, or hand it to
+        the installed spill hook (async pipeline) to seal and submit."""
+        if self.on_buffer_full is not None:
+            self.on_buffer_full()
+        else:
+            self.flush()
+
+    # --- asynchronous commit pipeline hooks ---------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record.
+
+        LSNs are simply the 1-based append index: the durable log is
+        always a prefix of the append order, so ``durable_lsn`` marching
+        towards ``last_lsn`` is the whole resolution protocol.
+        """
+        return self.appended_records
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN that has reached the durable log (0 = none)."""
+        return len(self.durable_records)
+
+    @property
+    def sealed_pending(self) -> int:
+        """Sealed buffers whose device ack is still outstanding."""
+        return self._sealed_pending
+
+    def seal(self) -> Optional[_Buffer]:
+        """Rotate the open buffer out of the append path for async flush.
+
+        Returns the sealed buffer (for the caller to submit to a log
+        device), or ``None`` when the open buffer holds no records.  The
+        sealed buffer stays retained — it is not durable until
+        :meth:`mark_durable` runs at the device ack.
+        """
+        current = self._buffers[-1]
+        if not current.records:
+            return None
+        current.sealed = True
+        self._sealed_pending += 1
+        self._buffers.append(_Buffer(self._next_buffer_id))
+        self._next_buffer_id += 1
+        return current
+
+    def submit_sealed(self, buffer: _Buffer, device: LogDevice) -> float:
+        """Submit one sealed buffer to ``device`` as a single log write.
+
+        Charges the I/O round trip and performs the device write now (the
+        data is in flight); returns the virtual ack time.  Durability is
+        deferred: the caller must invoke :meth:`mark_durable` once the
+        virtual clock passes the returned ack time.
+        """
+        faults = self.machine.faults
+
+        def write_buffer() -> float:
+            # Charges live inside the attempt: a transient device error
+            # re-pays the I/O round trip on every retry.
+            self.machine.io_path.charge_round_trip(buffer.nbytes)
+            if faults is not None:
+                faults.hit("recovery_log.flush")
+            return device.submit_write(buffer.nbytes)
+
+        ack_s: float = run_with_retries(self.machine, write_buffer,
+                                        stats=self.retry_stats)
+        return ack_s
+
+    def mark_durable(self, buffer: _Buffer) -> None:
+        """Record that ``buffer``'s device write was acknowledged.
+
+        The ack is the durability point: every not-yet-durable record in
+        the buffer joins ``durable_records`` (``durable_upto`` keeps a
+        resubmission from duplicating), and the buffer becomes eligible
+        for retention-budget eviction.
+        """
+        self.durable_records.extend(buffer.records[buffer.durable_upto:])
+        buffer.durable_upto = len(buffer.records)
+        if not buffer.flushed:
+            buffer.flushed = True
+            self.flushes += 1
+            if buffer.sealed:
+                self._sealed_pending -= 1
+        self._enforce_budget()
+
+    # --- synchronous flush --------------------------------------------------
 
     def flush(self) -> Optional[int]:
         """Write the open buffer to the SSD as one large write.
@@ -145,6 +252,12 @@ class RecoveryLog:
         retention budget is enforced by dropping the oldest flushed buffers.
         Returns the flushed buffer id, or None when the buffer was empty.
         """
+        # A synchronous flush while sealed buffers await their ack would
+        # make the durable log a non-prefix of the append order; the async
+        # pipeline must drain (``force``) before any sync flush.
+        assert self._sealed_pending == 0, (
+            "sync flush with sealed buffers in flight"
+        )
         current = self._buffers[-1]
         if not current.records:
             return None

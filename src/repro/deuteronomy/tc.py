@@ -20,8 +20,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bwtree.tree import BwTree
+from ..hardware.logdevice import LogDevice
 from ..hardware.machine import Machine
 from ..hardware.metrics import CounterSet, Histogram
+from .commit_pipeline import CommitFuture, CommitPipeline
 from .mvcc import Version, VersionStore
 from .read_cache import ReadCache
 from .recovery_log import LogRecord, RecoveryLog
@@ -64,13 +66,29 @@ class TcConfig:
     # of small log writes (group commit would amortize them; the default
     # leaves durability to checkpoints/periodic flushes).
     sync_commit: bool = False
+    # Asynchronous epoch-based group commit: commits enqueue into the
+    # current epoch and receive a commit future; epochs close on a
+    # virtual-time window or byte threshold and flush as one device
+    # write.  Mutually exclusive with ``sync_commit`` (which is the
+    # flush-per-commit-batch semantics this pipeline replaces).
+    commit_pipeline: bool = False
+    commit_interval_us: float = 50.0
+    commit_epoch_bytes: int = 1 << 16
+    log_ack_latency_us: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.sync_commit and self.commit_pipeline:
+            raise ValueError(
+                "sync_commit and commit_pipeline are mutually exclusive"
+            )
 
 
 class TransactionComponent:
     """MVCC transactions over a Bw-tree data component."""
 
     def __init__(self, machine: Machine, data_component: BwTree,
-                 config: Optional[TcConfig] = None) -> None:
+                 config: Optional[TcConfig] = None,
+                 log_device: Optional[LogDevice] = None) -> None:
         self.machine = machine
         self.dc = data_component
         self.config = config if config is not None else TcConfig()
@@ -79,6 +97,22 @@ class TransactionComponent:
             buffer_bytes=self.config.log_buffer_bytes,
             retain_budget_bytes=self.config.log_retain_budget_bytes,
         )
+        # Asynchronous commit pipeline (None under sync/periodic commit).
+        # The default log device is colocated with the data SSD; bench
+        # topologies pass a dedicated or shared device instead.
+        self.pipeline: Optional[CommitPipeline] = None
+        self._last_future: Optional[CommitFuture] = None
+        if self.config.commit_pipeline:
+            if log_device is None:
+                log_device = LogDevice(
+                    machine.ssd, machine.clock,
+                    ack_latency_us=self.config.log_ack_latency_us,
+                )
+            self.pipeline = CommitPipeline(
+                machine, self.log, log_device,
+                commit_interval_us=self.config.commit_interval_us,
+                epoch_bytes=self.config.commit_epoch_bytes,
+            )
         self.read_cache = ReadCache(machine, self.config.read_cache_bytes)
         self.versions = VersionStore(machine)
         self.counters = CounterSet()
@@ -140,8 +174,11 @@ class TransactionComponent:
                 else:
                     self.dc.upsert(key, value)
                 self.counters.add("tc.writes_applied")
-            if self.config.sync_commit and txn.write_set:
-                self.log.flush()
+            if txn.write_set:
+                if self.pipeline is not None:
+                    self._last_future = self.pipeline.enqueue_epoch()
+                elif self.config.sync_commit:
+                    self.log.flush()
             txn.status = TxnStatus.COMMITTED
             del self._active[txn.txn_id]
             self.counters.add("tc.commits")
@@ -223,8 +260,12 @@ class TransactionComponent:
                 # Blind posts, exactly as in :meth:`commit`, but the DC
                 # enters its epoch and dispatches once for the whole group.
                 self.dc.apply_blind_batch(dc_ops)
-            if self.config.sync_commit and records:
-                self.log.flush()
+            if records:
+                if self.pipeline is not None:
+                    self._last_future = self.pipeline.enqueue_epoch(
+                        len(committed))
+                elif self.config.sync_commit:
+                    self.log.flush()
             self.counters.add("tc.group_commits")
             self._maybe_gc_versions()
             return results
@@ -390,6 +431,29 @@ class TransactionComponent:
             self._buffer_write(txn, key, value)
             txns.append(txn)
         return self.commit_batch(txns, sequential=True)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    @property
+    def last_commit_future(self) -> Optional[CommitFuture]:
+        """Future of the most recent pipelined commit (None when the
+        pipeline is off or nothing has committed yet)."""
+        return self._last_future
+
+    def sync_log(self) -> None:
+        """Make everything appended so far durable.
+
+        Under the commit pipeline this drains it (closes the open epoch,
+        waits out in-flight acks, resolves every future); otherwise it is
+        a plain synchronous flush.  Checkpoint and GC barriers call this
+        instead of ``log.flush()`` so they stay correct in both modes.
+        """
+        if self.pipeline is not None:
+            self.pipeline.force()
+        else:
+            self.log.flush()
 
     # ------------------------------------------------------------------
     # recovery

@@ -50,7 +50,16 @@ from .retry import RetryStats
 
 Op = Tuple[str, bytes, Optional[bytes]]
 
-SCENARIOS = ("engine", "sharded")
+# "-async" variants run the same trace with the epoch-based commit
+# pipeline on, so the async-window fault sites (epoch open, pre-ack,
+# post-ack) are actually reachable and the durable-prefix oracle covers
+# commits whose device ack was still outstanding at the crash.
+SCENARIOS = ("engine", "sharded", "engine-async", "sharded-async")
+
+
+def _base_scenario(scenario: str) -> str:
+    return scenario[:-len("-async")] if scenario.endswith("-async") \
+        else scenario
 
 
 @dataclass(frozen=True)
@@ -212,22 +221,27 @@ def _tree_config(config: MatrixConfig) -> BwTreeConfig:
     )
 
 
-def _tc_config(config: MatrixConfig) -> TcConfig:
-    return TcConfig(log_buffer_bytes=config.log_buffer_bytes)
+def _tc_config(config: MatrixConfig, pipelined: bool = False) -> TcConfig:
+    return TcConfig(
+        log_buffer_bytes=config.log_buffer_bytes,
+        commit_pipeline=pipelined,
+    )
 
 
 def _build(scenario: str, config: MatrixConfig,
            injector: FaultInjector):
     """A fresh engine (or fleet) with every machine sharing ``injector``."""
-    if scenario == "engine":
+    pipelined = scenario.endswith("-async")
+    base = _base_scenario(scenario)
+    if base == "engine":
         machine = Machine.paper_default(cores=config.cores)
         machine.faults = injector
         return DeuteronomyEngine(
             machine,
             tree_config=_tree_config(config),
-            tc_config=_tc_config(config),
+            tc_config=_tc_config(config, pipelined),
         )
-    if scenario == "sharded":
+    if base == "sharded":
         def factory() -> Machine:
             machine = Machine.paper_default(cores=config.cores)
             machine.faults = injector
@@ -236,7 +250,7 @@ def _build(scenario: str, config: MatrixConfig,
         return ShardedEngine(
             config.shards,
             tree_config=_tree_config(config),
-            tc_config=_tc_config(config),
+            tc_config=_tc_config(config, pipelined),
             machine_factory=factory,
             faults=injector,
         )
@@ -246,7 +260,7 @@ def _build(scenario: str, config: MatrixConfig,
 def _setup(scenario: str, engine, baseline: Dict[bytes, bytes]) -> None:
     """Load the baseline and take the first checkpoint (faults disarmed)."""
     items = sorted(baseline.items())
-    if scenario == "engine":
+    if _base_scenario(scenario) == "engine":
         engine.dc.bulk_load(items)
     else:
         engine.bulk_load(items)
@@ -256,7 +270,7 @@ def _setup(scenario: str, engine, baseline: Dict[bytes, bytes]) -> None:
 def _drive(scenario: str, engine, ops: Sequence[Op],
            config: MatrixConfig) -> None:
     """Replay the trace with periodic checkpoints and GC passes."""
-    if scenario == "engine":
+    if _base_scenario(scenario) == "engine":
         for index, (kind, key, value) in enumerate(ops, start=1):
             if kind == "get":
                 engine.get(key)
@@ -282,7 +296,9 @@ def _drive(scenario: str, engine, ops: Sequence[Op],
 
 
 def _shard_engines(scenario: str, engine) -> List[DeuteronomyEngine]:
-    return [engine] if scenario == "engine" else list(engine.shards)
+    if _base_scenario(scenario) == "engine":
+        return [engine]
+    return list(engine.shards)
 
 
 def _durable_view(shards: Sequence[DeuteronomyEngine],
@@ -320,7 +336,7 @@ def _check_oracle(scenario: str, recovered,
                 violations.append("... further key mismatches elided")
                 break
     stats = recovered.stats()
-    if scenario == "sharded":
+    if _base_scenario(scenario) == "sharded":
         fleet = stats["fleet"]
         per_shard = stats["per_shard"]
         for stat_key in _ADDITIVE_STAT_KEYS:
@@ -338,7 +354,7 @@ def _check_oracle(scenario: str, recovered,
 
 
 def _recover(scenario: str, engine):
-    if scenario == "engine":
+    if _base_scenario(scenario) == "engine":
         return DeuteronomyEngine.recover(engine)
     return ShardedEngine.recover(engine)
 
@@ -510,8 +526,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-hits", type=int, default=None,
                         help="cap on tested hit indices per site "
                              "(deterministically sampled beyond it)")
-    parser.add_argument("--scenario", choices=("engine", "sharded", "both"),
-                        default="both")
+    parser.add_argument("--scenario",
+                        choices=SCENARIOS + ("both",),
+                        default="both",
+                        help="one scenario, or 'both' for all of them "
+                             "(sync and async commit variants)")
     parser.add_argument("--noise", type=float, default=0.0, metavar="PROB",
                         help="also run a transient-I/O-noise pass at this "
                              "per-access failure probability")

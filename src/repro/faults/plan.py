@@ -127,6 +127,24 @@ def _registry() -> Dict[str, FaultSite]:
             "segment is reclaimed (after the superseding checkpoint)",
         ),
         FaultSite(
+            "commit_pipeline.epoch_open",
+            "inside CommitPipeline.enqueue_epoch, as a fresh commit "
+            "epoch opens — the enqueueing commit's records are appended "
+            "but no future exists yet",
+        ),
+        FaultSite(
+            "commit_pipeline.flush.pre_ack",
+            "inside CommitPipeline ack processing, after the sealed "
+            "buffer's device write was submitted but before the ack is "
+            "honored — the buffer never becomes durable",
+        ),
+        FaultSite(
+            "commit_pipeline.flush.post_ack",
+            "inside CommitPipeline ack processing, after mark_durable "
+            "but before the buffer's commit futures resolve — durable "
+            "on flash, futures forever pending",
+        ),
+        FaultSite(
             "sharded.apply_batch.boundary",
             "inside ShardedEngine scatter/gather, between per-shard "
             "sub-batches — earlier shards committed, later ones did not",

@@ -15,6 +15,7 @@ from .clock import VirtualClock
 from .cpu import CostTable, CpuModel
 from .dram import DramFullError, DramModel
 from .iopath import IoPathKind, IoPathModel
+from .logdevice import LogDevice
 from .machine import Machine, RunSummary
 from .metrics import CounterSet, Histogram
 from .ssd import SimulatedSsd, SsdFullError, SsdSpec
@@ -27,6 +28,7 @@ __all__ = [
     "DramFullError",
     "IoPathKind",
     "IoPathModel",
+    "LogDevice",
     "Machine",
     "RunSummary",
     "CounterSet",

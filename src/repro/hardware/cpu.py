@@ -94,6 +94,11 @@ class CostTable:
     log_append_per_byte: float = 0.0004
     timestamp_alloc: float = 0.03
 
+    # --- asynchronous commit pipeline ------------------------------------
+    commit_enqueue: float = 0.04       # add a commit future to the epoch
+    commit_ack: float = 0.20           # process one device ack completion
+    commit_resolve: float = 0.03       # resolve one future in LSN order
+
     def scaled(self, factor: float) -> "CostTable":
         """Return a table with every cost multiplied by ``factor``.
 

@@ -41,6 +41,8 @@ _REGISTRY_ADDITIVE_KEYS = (
     "tc_dram_bytes", "commits", "aborts", "reads", "dc_reads",
     "read_cache_hits", "read_cache_misses", "page_cache_touches",
     "page_cache_fetches", "log_flushes", "log_batch_appends",
+    "log_device_writes", "log_device_bytes", "commit_epochs",
+    "commit_wait_us", "commit_futures_resolved",
 )
 
 

@@ -70,6 +70,7 @@ COMPONENT_OF_CATEGORY: Dict[str, str] = {
     "io_path": "io_path",
     "io_retry": "io_path",
     "router": "router",
+    "commit_pipeline": "commit_pipeline",
     "compression": "compression",
     "lsm": "lsm",
     "lsm_block_cache": "lsm",
@@ -85,6 +86,7 @@ SPAN_NAMES = frozenset({
     "engine.apply_batch", "engine.checkpoint", "engine.collect_garbage",
     "tc.read", "tc.commit", "tc.commit_batch",
     "recovery_log.flush",
+    "commit_pipeline.epoch_flush", "commit_pipeline.commit_wait",
     "bwtree.get", "bwtree.upsert", "bwtree.delete", "bwtree.blind_batch",
     "page_cache.fetch",
     "log_store.read", "log_store.flush",

@@ -39,8 +39,10 @@ from ..bwtree.tree import BwTreeConfig
 from ..deuteronomy.engine import DeuteronomyEngine
 from ..deuteronomy.tc import TcConfig
 from ..faults.plan import FaultInjector
+from ..hardware.logdevice import LogDevice
 from ..hardware.machine import Machine
 from ..hardware.metrics import CounterSet
+from ..hardware.ssd import SimulatedSsd
 from .router import ShardRouter
 
 # stats() keys that are additive across shards; the rest are re-derived
@@ -50,8 +52,16 @@ _ADDITIVE_STAT_KEYS = (
     "dram_bytes", "tc_dram_bytes", "commits", "aborts", "reads",
     "dc_reads", "read_cache_hits", "read_cache_misses",
     "page_cache_touches", "page_cache_fetches", "log_flushes",
-    "log_batch_appends",
+    "log_batch_appends", "log_device_writes", "log_device_bytes",
+    "commit_epochs", "commit_wait_us", "commit_futures_resolved",
 )
+
+# Where commit-pipeline log writes land, the costed hardware axis of the
+# five-minute-rule revisit: "colocated" shares each shard's data SSD,
+# "per-shard" gives every shard a dedicated log SSD (capital cost x N,
+# no contention), "shared" funnels every shard through one log SSD (one
+# drive's capital cost, fleet elapsed floored by its total busy time).
+LOG_TOPOLOGIES = ("colocated", "per-shard", "shared")
 
 
 class ShardedEngine:
@@ -66,10 +76,28 @@ class ShardedEngine:
         machine_factory: Optional[Callable[[], Machine]] = None,
         threaded: bool = False,
         faults: Optional[FaultInjector] = None,
+        log_topology: str = "colocated",
         _shards: Optional[Sequence[DeuteronomyEngine]] = None,
     ) -> None:
+        if log_topology not in LOG_TOPOLOGIES:
+            raise ValueError(
+                f"unknown log topology {log_topology!r}; "
+                f"expected one of {LOG_TOPOLOGIES}"
+            )
+        if log_topology == "shared" and threaded:
+            # Every shard's LogDevice submits into one SimulatedSsd;
+            # its counters are not thread-safe, and determinism is the
+            # point of the shared-queue cost model.
+            raise ValueError(
+                "shared log topology requires sequential dispatch "
+                "(threaded=False)"
+            )
         self.router = ShardRouter(num_shards)
         self.threaded = threaded
+        self.log_topology = log_topology
+        # The single drive behind every shard's queue under "shared"
+        # (None otherwise); its busy seconds floor fleet elapsed time.
+        self._shared_log_ssd: Optional[SimulatedSsd] = None
         # Fleet-level fault injector: fires at the between-shard batch
         # boundaries (per-shard sites run off each shard machine's own
         # ``machine.faults``, which callers typically point at the same
@@ -87,12 +115,40 @@ class ShardedEngine:
             factory = machine_factory if machine_factory is not None else (
                 lambda: Machine.paper_default(cores=cores_per_shard)
             )
-            self.shards = [
-                DeuteronomyEngine(factory(), tree_config=tree_config,
-                                  tc_config=tc_config)
-                for __ in range(num_shards)
-            ]
+            self.shards = []
+            for __ in range(num_shards):
+                machine = factory()
+                self.shards.append(
+                    DeuteronomyEngine(
+                        machine, tree_config=tree_config,
+                        tc_config=tc_config,
+                        log_device=self._build_log_device(machine,
+                                                          tc_config),
+                    )
+                )
         self._recovered_into: Optional["ShardedEngine"] = None
+
+    def _build_log_device(
+        self, machine: Machine, tc_config: Optional[TcConfig],
+    ) -> Optional[LogDevice]:
+        """The shard's commit-log device under the chosen topology.
+
+        Returns None when the shard needs no explicit device: the commit
+        pipeline is off, or the topology is "colocated" (the TC then
+        builds its own queue over the shard's data SSD).
+        """
+        if tc_config is None or not tc_config.commit_pipeline:
+            return None
+        if self.log_topology == "colocated":
+            return None
+        ack = tc_config.log_ack_latency_us
+        if self.log_topology == "per-shard":
+            return LogDevice(SimulatedSsd(machine.ssd.spec), machine.clock,
+                             ack_latency_us=ack, colocated=False)
+        if self._shared_log_ssd is None:
+            self._shared_log_ssd = SimulatedSsd(machine.ssd.spec)
+        return LogDevice(self._shared_log_ssd, machine.clock,
+                         ack_latency_us=ack, colocated=False)
 
     @property
     def num_shards(self) -> int:
@@ -258,6 +314,23 @@ class ShardedEngine:
         """Flush every shard's log and dirty pages (fleet-wide WAL point)."""
         self._dispatch([shard.checkpoint for shard in self.shards])
 
+    def drain_commits(self) -> None:
+        """Drain every shard's commit pipeline (no-op for sync shards).
+
+        Batches deliberately leave flushes in flight — shard *k+1*
+        executes its sub-batch while shard *k*'s epoch flush is still
+        waiting for its ack, which is the pipelining that breaks the
+        per-batch flush barrier — so a benchmark (or any caller that
+        wants every commit future resolved) ends its run here.  Sync
+        shards are untouched: their commit path already flushed, and
+        flushing again would add device writes the synchronous baseline
+        never paid.
+        """
+        for shard in self.shards:
+            pipeline = shard.tc.pipeline
+            if pipeline is not None:
+                pipeline.force()
+
     def reset_accounting(self) -> None:
         """Zero every shard machine's traffic counters (post-warmup)."""
         for shard in self.shards:
@@ -304,6 +377,7 @@ class ShardedEngine:
             crashed.num_shards,
             threaded=crashed.threaded,
             faults=crashed.faults,
+            log_topology=crashed.log_topology,
             _shards=recovered_shards,
         )
         crashed._recovered_into = engine
@@ -343,6 +417,14 @@ class ShardedEngine:
             (stats["elapsed_seconds"] for stats in per_shard),
             default=0.0,
         )
+        if self._shared_log_ssd is not None:
+            # One drive serves every shard's commit log: its total busy
+            # time is a fleet-wide serial floor no amount of shard
+            # parallelism can hide.
+            fleet["elapsed_seconds"] = max(
+                fleet["elapsed_seconds"],
+                self._shared_log_ssd.busy_seconds,
+            )
         reads = fleet["reads"]
         fleet["tc_hit_rate"] = (
             1.0 - fleet["dc_reads"] / reads if reads else 0.0
@@ -357,6 +439,7 @@ class ShardedEngine:
         )
         return {
             "num_shards": self.num_shards,
+            "log_topology": self.log_topology,
             "routed_ops": self.counters.get("router.routed_ops"),
             "routed_batches": self.counters.get("router.batches"),
             "fleet": fleet,

@@ -458,6 +458,72 @@ class TestObservabilityTouchVerbs:
         assert not _lint_snippet(tmp_path, charged, self.RULE)
 
 
+COMMIT_ENQUEUE_POSITIVE = """\
+class Committer:
+    def __init__(self, machine, pipeline):
+        self.machine = machine
+        self.pipeline = pipeline
+
+    def commit(self, txn):
+        return self.pipeline.enqueue_epoch(len(txn))
+"""
+
+COMMIT_RESOLVE_POSITIVE = """\
+class AckLoop:
+    def __init__(self, machine, pipeline):
+        self.machine = machine
+        self.pipeline = pipeline
+
+    def drain(self):
+        self.pipeline.ack()
+        self.pipeline.resolve_future()
+"""
+
+
+class TestCommitPipelineTouchVerbs:
+    """``enqueue_epoch`` / ``ack`` / ``resolve_future`` count as domain
+    touches: commit-path work on the durable log must charge its cost."""
+
+    RULE = "cost-accounting"
+
+    def test_enqueue_epoch_without_charge_is_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, COMMIT_ENQUEUE_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "Committer.commit" in findings[0].message
+
+    def test_enqueue_epoch_with_charge_is_clean(self, tmp_path):
+        charged = COMMIT_ENQUEUE_POSITIVE.replace(
+            "        return self.pipeline.enqueue_epoch(len(txn))",
+            "        self.machine.cpu.charge(\"commit\", "
+            "category=\"tc\")\n"
+            "        return self.pipeline.enqueue_epoch(len(txn))",
+        )
+        assert not _lint_snippet(tmp_path, charged, self.RULE)
+
+    def test_enqueue_epoch_suppression_silences(self, tmp_path):
+        suppressed = COMMIT_ENQUEUE_POSITIVE.replace(
+            "def commit(self, txn):",
+            "def commit(self, txn):  # repro: ignore[cost-accounting]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_ack_and_resolve_without_charge_are_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, COMMIT_RESOLVE_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "AckLoop.drain" in findings[0].message
+
+    def test_ack_and_resolve_with_charge_are_clean(self, tmp_path):
+        charged = COMMIT_RESOLVE_POSITIVE.replace(
+            "        self.pipeline.ack()",
+            "        self.machine.cpu.charge(\"ack\", "
+            "category=\"commit_pipeline\")\n"
+            "        self.pipeline.ack()",
+        )
+        assert not _lint_snippet(tmp_path, charged, self.RULE)
+
+
 # ---------------------------------------------------------------------------
 # counter-additivity against snapshot() providers (metrics registry)
 # ---------------------------------------------------------------------------

@@ -87,3 +87,102 @@ def test_retained_record_index_newest_wins(log):
 def test_delete_record_allowed(log):
     buffer_id = log.append(LogRecord(b"k", None, 1, 1))
     assert log.is_buffer_retained(buffer_id)
+
+
+class TestRetentionBudget:
+    """Direct ``_enforce_budget`` behaviour: eviction order, additivity,
+    and the sealed/unflushed protections the async pipeline relies on."""
+
+    def test_eviction_is_strictly_oldest_first(self, log):
+        for index in range(200):
+            log.append(record(index))
+        assert log.dropped_buffers > 0
+        retained_ids = [buffer.buffer_id for buffer in log._buffers]
+        # Exactly the newest suffix of buffer ids survives: ids are
+        # contiguous from the oldest retained one up to the open buffer.
+        assert retained_ids == list(range(
+            log.dropped_buffers, log.dropped_buffers + len(retained_ids)))
+        for buffer_id in range(log.dropped_buffers):
+            assert not log.is_buffer_retained(buffer_id)
+        for buffer_id in retained_ids:
+            assert log.is_buffer_retained(buffer_id)
+
+    def test_retained_bytes_is_the_sum_of_retained_buffers(self, log):
+        for index in range(150):
+            log.append(record(index))
+        assert log.retained_bytes == sum(
+            buffer.nbytes for buffer in log._buffers)
+        assert log.machine.dram.bytes_for("tc_recovery_log") == \
+            log.retained_bytes
+
+    def test_unflushed_buffer_is_never_dropped(self, machine):
+        # Budget far smaller than one buffer: the open (unflushed)
+        # buffer must survive enforcement regardless.
+        log = RecoveryLog(machine, buffer_bytes=1024,
+                          retain_budget_bytes=64)
+        for index in range(5):
+            log.append(record(index))
+        log._enforce_budget()
+        assert log.retained_buffers >= 1
+        assert log.retained_bytes > 64   # over budget, but not droppable
+
+    def test_sealed_unflushed_buffer_survives_budget_pressure(
+            self, machine):
+        log = RecoveryLog(machine, buffer_bytes=1024,
+                          retain_budget_bytes=64)
+        for index in range(5):
+            log.append(record(index))
+        sealed = log.seal()   # still owed to durable_records
+        log._enforce_budget()
+        assert log.is_buffer_retained(sealed.buffer_id)
+        assert log.sealed_pending == 1
+
+    def test_budget_enforced_at_mark_durable_not_seal(self, machine):
+        from repro.hardware import LogDevice
+
+        log = RecoveryLog(machine, buffer_bytes=1024,
+                          retain_budget_bytes=64)
+        device = LogDevice(machine.ssd, machine.clock)
+        for index in range(5):
+            log.append(record(index))
+        sealed = log.seal()
+        log.submit_sealed(sealed, device)
+        dropped_before = log.dropped_buffers
+        log.mark_durable(sealed)
+        # The ack made the buffer evictable and the budget is tiny:
+        # enforcement runs inside mark_durable and drops it.
+        assert log.dropped_buffers == dropped_before + 1
+        assert not log.is_buffer_retained(sealed.buffer_id)
+        assert log.durable_lsn == 5   # eviction never touches durability
+
+    def test_partial_flush_keeps_retention_exact(self, machine):
+        """A buffer made durable via the async path stays retained (and
+        servable) until the budget — not the flush — evicts it."""
+        from repro.hardware import LogDevice
+
+        log = RecoveryLog(machine, buffer_bytes=1024,
+                          retain_budget_bytes=8192)
+        device = LogDevice(machine.ssd, machine.clock)
+        first_id = log.append(record(0))
+        sealed = log.seal()
+        log.submit_sealed(sealed, device)
+        log.mark_durable(sealed)
+        assert log.is_buffer_retained(first_id)   # budget not exceeded
+        assert log.retained_bytes == sum(
+            buffer.nbytes for buffer in log._buffers)
+        assert log.durable_records == sealed.records
+
+    def test_mark_durable_twice_does_not_duplicate(self, machine):
+        from repro.hardware import LogDevice
+
+        log = RecoveryLog(machine, buffer_bytes=1024)
+        device = LogDevice(machine.ssd, machine.clock)
+        for index in range(3):
+            log.append(record(index))
+        sealed = log.seal()
+        log.submit_sealed(sealed, device)
+        log.mark_durable(sealed)
+        log.mark_durable(sealed)   # resubmission after a transient error
+        assert log.durable_lsn == 3
+        assert log.flushes == 1
+        assert log.sealed_pending == 0

@@ -15,6 +15,7 @@ from hypothesis import HealthCheck, given, settings
 from repro.deuteronomy import DeuteronomyEngine
 from repro.faults import FAULT_SITES, CrashError, FaultInjector, FaultPlan
 from repro.faults.matrix import (
+    SCENARIOS as MATRIX_SCENARIOS,
     MatrixConfig,
     _build,
     _drive,
@@ -29,7 +30,7 @@ from repro.sharding.engine import _ADDITIVE_STAT_KEYS, ShardedEngine
 SITES = st.sampled_from(sorted(FAULT_SITES))
 SEEDS = st.integers(min_value=0, max_value=2**16)
 HITS = st.integers(min_value=1, max_value=5)
-SCENARIOS = st.sampled_from(["engine", "sharded"])
+SCENARIOS = st.sampled_from(sorted(MATRIX_SCENARIOS))
 
 
 def tiny_config(seed: int) -> MatrixConfig:

@@ -1,0 +1,77 @@
+"""LogDevice: FIFO ack queue, ack latency, topology accounting."""
+
+import pytest
+
+from repro.hardware import LogDevice, Machine, SimulatedSsd
+
+
+@pytest.fixture
+def device(machine: Machine) -> LogDevice:
+    return LogDevice(machine.ssd, machine.clock, ack_latency_us=25.0)
+
+
+def test_negative_ack_latency_rejected(machine):
+    with pytest.raises(ValueError):
+        LogDevice(machine.ssd, machine.clock, ack_latency_us=-1.0)
+
+
+def test_ack_time_is_service_plus_latency(machine, device):
+    spec = machine.ssd.spec
+    nbytes = 4096
+    service_s = max(1.0 / spec.iops, nbytes / spec.bandwidth_bytes_per_sec)
+    ack_s = device.submit_write(nbytes)
+    assert ack_s == pytest.approx(
+        machine.clock.now + service_s + 25.0e-6)
+    assert device.submitted_writes == 1
+    assert device.submitted_bytes == nbytes
+    assert device.service_seconds == pytest.approx(service_s)
+
+
+def test_fifo_queueing_behind_inflight_write(machine, device):
+    first = device.submit_write(4096)
+    # Submitted at the same virtual instant: the second write must wait
+    # for the first to finish service before its own service starts.
+    second = device.submit_write(4096)
+    spec = machine.ssd.spec
+    service_s = max(1.0 / spec.iops, 4096 / spec.bandwidth_bytes_per_sec)
+    assert second == pytest.approx(first + service_s)
+    assert device.queue_wait_us == pytest.approx(service_s * 1e6)
+
+
+def test_no_queueing_after_device_freed(machine, device):
+    device.submit_write(4096)
+    machine.clock.advance(1.0)   # well past the service horizon
+    before = device.queue_wait_us
+    device.submit_write(4096)
+    assert device.queue_wait_us == before
+
+
+def test_writes_hit_the_wrapped_ssd_counters(machine, device):
+    writes_before = machine.ssd.counters.get("ssd.writes")
+    device.submit_write(4096)
+    assert machine.ssd.counters.get("ssd.writes") == writes_before + 1
+
+
+def test_colocated_contributes_no_extra_elapsed(device):
+    device.submit_write(4096)
+    assert device.elapsed_contribution() == 0.0
+
+
+def test_dedicated_contributes_its_service_time(machine):
+    private = SimulatedSsd(machine.ssd.spec)
+    device = LogDevice(private, machine.clock, ack_latency_us=25.0,
+                       colocated=False)
+    device.submit_write(4096)
+    assert device.elapsed_contribution() == \
+        pytest.approx(device.service_seconds)
+    assert device.service_seconds > 0.0
+
+
+def test_reset_zeroes_traffic_but_keeps_queue_horizon(machine, device):
+    device.submit_write(4096)
+    device.reset()
+    assert device.submitted_writes == 0
+    assert device.service_seconds == 0.0
+    # Horizon preserved: an immediate submit still queues.
+    device.submit_write(4096)
+    assert device.queue_wait_us > 0.0
