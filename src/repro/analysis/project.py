@@ -71,6 +71,12 @@ DOMAIN_TOUCH_VERBS = frozenset({
     "enqueue_epoch",
     "resolve_future",
     "ack",
+    # Record-cache v2: appending into the record heap, relocating a live
+    # record during arena GC, and sealing an arena are record-store
+    # mutations on the MM hot path and must carry cost charges.
+    "append_record",
+    "relocate",
+    "seal_arena",
 })
 
 #: Generic verbs that count as touches only with a store-like receiver.

@@ -49,10 +49,11 @@ from ..workloads.ycsb import (
     shard_balance,
 )
 
-# v4: adds the ``commit_pipeline`` block (async epoch-commit scaling
-# curve, sync-vs-async ablation, log-topology $-per-op comparison) and
-# per-entry epoch stats in the sharded curves.
-SCHEMA_VERSION = 4
+# v5: adds the ``record_cache`` block (record-granularity vs
+# page-granularity caching at equal DRAM on read-hot YCSB-C, latch-free
+# vs latched costing, and the re-derived Figure-3 MM crossover with the
+# record-cache engine standing in for the caching system).
+SCHEMA_VERSION = 5
 DEFAULT_OUT = "BENCH_engine.json"
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 # YCSB-A 4-shard scaling at the v3 seed (sync commit): the WAL-bound
@@ -61,6 +62,11 @@ DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 SEED_SCALING_FLOOR = 1.73
 # Acceptance floor for the full async run at 8 shards.
 ASYNC_SCALING_FLOOR_8 = 3.0
+# Acceptance floor for record-cache v2: at equal cache DRAM the
+# latch-free record heap must cut MM-op core-us on read-hot YCSB-C by at
+# least this fraction vs the page-granularity path (measured ~0.37 at
+# the default sizing, ~0.40 at the smoke sizing).
+RECORD_CACHE_FLOOR = 0.20
 
 MIX_BUILDERS = {
     "a": WorkloadSpec.ycsb_a,   # 50/50 read/update — the group-commit case
@@ -401,6 +407,237 @@ def _run_commit_pipeline_block(
     return block
 
 
+def _run_read_only_variant(
+    tc_config: TcConfig,
+    page_cache_bytes: Optional[int],
+    spec: WorkloadSpec,
+    op_count: int,
+    cores: int,
+    warmup: int = 0,
+) -> Dict[str, float]:
+    """One read-only YCSB-C run: fresh engine, capped page cache.
+
+    The engine is checkpointed after loading so evicted pages really live
+    on flash; accounting resets after the (optional) warmup, so every
+    variant's window starts from the same state.
+    """
+    machine = Machine.paper_default(cores=cores)
+    engine = DeuteronomyEngine(
+        machine,
+        tree_config=BwTreeConfig(cache_capacity_bytes=page_cache_bytes),
+        tc_config=tc_config,
+    )
+    generator = WorkloadGenerator(spec)
+    engine.dc.bulk_load(generator.load_items())
+    engine.checkpoint()
+    if warmup:
+        for op in generator.operations(warmup):
+            engine.get(op.key)
+    machine.reset_accounting()
+    for op in generator.operations(op_count):
+        engine.get(op.key)
+    summary = machine.summary()
+    stats = engine.stats()
+    return {
+        "core_us_per_op": (summary.cpu_busy_seconds * 1e6 / op_count)
+        if op_count else 0.0,
+        "ops_per_sec": summary.throughput_ops_per_sec,
+        "tc_hit_rate": stats["tc_hit_rate"],
+        "read_cache_hit_rate": stats["read_cache_hit_rate"],
+        "record_cache_hit_rate": stats["record_cache_hit_rate"],
+        "page_cache_hit_rate": stats["page_cache_hit_rate"],
+        "record_cache_gc_relocations": stats["record_cache_gc_relocations"],
+        "record_heap_bytes": stats["record_heap_bytes"],
+        "ssd_ios": summary.ssd_ios,
+        "dram_bytes": machine.dram.current_bytes,
+    }
+
+
+def _figure3_side(px: float, mx: float, rops: float,
+                  database_bytes: int) -> Optional[Dict[str, float]]:
+    """Eq-7 breakeven numbers, or ``None`` when the comparison collapses.
+
+    ``MainMemoryComparison`` requires Px > 1 and Mx > 1 (MassTree must be
+    the faster *and* bigger system).  A record-cache engine that matches
+    MassTree's speed or footprint makes the trade-off one-sided — there
+    is no crossover to report.
+    """
+    from dataclasses import replace
+
+    from ..core.mainmemory import MainMemoryComparison
+
+    if px <= 1.0 or mx <= 1.0:
+        return None
+    comparison = MainMemoryComparison(
+        px=px, mx=mx, catalog=replace(CostCatalog(), rops=rops))
+    return {
+        "breakeven_constant": comparison.breakeven_constant,
+        "breakeven_rate_ops_per_sec":
+            comparison.breakeven_rate_ops_per_sec(database_bytes),
+    }
+
+
+def _run_figure3_rederivation(
+    spec: WorkloadSpec,
+    op_count: int,
+    cores: int,
+    heap_bytes: int,
+    arena_bytes: int,
+) -> Dict[str, object]:
+    """Figure 3 with the record-cache engine as the caching system.
+
+    Reproduces the Section 5.1 point experiment at the engine level: the
+    fully resident engine (page-granularity TC path vs the record heap)
+    against MassTree on the same data, using ``measure_px_mx``'s
+    warm/reset/measure protocol.  Px and Mx shrink together — the record
+    heap buys back most of the MM system's per-op advantage by spending
+    DRAM on a second copy of the hot set — and Eq 7 turns both into a
+    moved crossover.
+    """
+    from ..masstree.tree import MassTree
+
+    warmup = 2_000
+
+    def engine_side(tc_config: TcConfig) -> Tuple[float, float, int]:
+        result = _run_read_only_variant(
+            tc_config, None, spec, op_count, cores, warmup=warmup)
+        return (result["core_us_per_op"], result["ops_per_sec"],
+                result["dram_bytes"])
+
+    page_us, page_rops, page_bytes = engine_side(
+        TcConfig(read_cache_bytes=1))
+    rc_us, rc_rops, rc_bytes = engine_side(TcConfig(
+        record_cache=True,
+        record_cache_bytes=max(heap_bytes,
+                               spec.record_count * spec.value_bytes * 2),
+        record_arena_bytes=arena_bytes,
+    ))
+
+    mt_machine = Machine.paper_default(cores=cores)
+    masstree = MassTree(mt_machine)
+    for key, value in WorkloadGenerator(spec).load_items():
+        masstree.upsert(key, value)
+    reader = WorkloadGenerator(spec)
+    for op in reader.operations(warmup):
+        masstree.get(op.key)
+    mt_machine.reset_accounting()
+    for op in reader.operations(op_count):
+        masstree.get(op.key)
+    mt_us = mt_machine.summary().cpu_busy_seconds * 1e6 / op_count
+    mt_bytes = masstree.dram_footprint_bytes()
+
+    sides: Dict[str, object] = {}
+    for name, us, rops, resident in (
+        ("before", page_us, page_rops, page_bytes),
+        ("after", rc_us, rc_rops, rc_bytes),
+    ):
+        px, mx = us / mt_us, mt_bytes / resident
+        side: Dict[str, object] = {
+            "px": px,
+            "mx": mx,
+            "core_us_per_op": us,
+            "dram_bytes": resident,
+            "rops": rops,
+        }
+        # S: the caching system's fully resident footprint (same DB for
+        # both sides, so the page engine's bytes anchor the rate axis).
+        breakeven = _figure3_side(px, mx, rops, page_bytes)
+        if breakeven is None:
+            side["breakeven_rate_ops_per_sec"] = None
+            side["note"] = (
+                "px or mx <= 1: the record-cache engine matches the MM "
+                "system; no crossover exists"
+            )
+        else:
+            side.update(breakeven)
+        sides[name] = side
+
+    before = sides["before"].get("breakeven_rate_ops_per_sec")
+    after = sides["after"].get("breakeven_rate_ops_per_sec")
+    return {
+        "masstree_core_us_per_op": mt_us,
+        "masstree_dram_bytes": mt_bytes,
+        "database_bytes": page_bytes,
+        "before": sides["before"],
+        "after": sides["after"],
+        "crossover_rate_shift": (after / before
+                                 if before and after is not None else None),
+    }
+
+
+def _run_record_cache_block(
+    record_count: int,
+    op_count: int,
+    cores: int,
+    value_bytes: int,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """The schema-v5 ``record_cache`` block (read-hot YCSB-C).
+
+    Every variant gets the *same* total cache DRAM budget M (about half
+    the loaded data) and the same cold start; what differs is the
+    granularity it is spent at:
+
+    * **page** — all of M on the DC page cache, no TC record caching:
+      4 KB pages drag cold neighbours into DRAM alongside each hot
+      record (the paper's page-granularity caching penalty);
+    * **read_cache_v4** — M split between page cache and the v4 FIFO
+      :class:`~repro.deuteronomy.read_cache.ReadCache`;
+    * **latch_free** / **latched** — M split between page cache and the
+      v2 record heap, costed with epoch-protect+CAS vs latch
+      acquire+convoy.
+
+    ``mm_core_us_drop`` (latch-free vs page) is the acceptance metric
+    behind ``RECORD_CACHE_FLOOR``.  The full block also re-derives
+    Figure 3 with the record-cache engine as the caching system
+    (``figure3``).
+    """
+    spec = WorkloadSpec.ycsb_c(record_count=record_count,
+                               value_bytes=value_bytes)
+    # ~30 bytes of key + header alongside each value; budget half of it.
+    budget = max(32 << 10, record_count * (value_bytes + 30) // 2)
+    heap = budget // 2
+    arena = max(1 << 10, heap // 16)
+    variants: Dict[str, Dict[str, float]] = {}
+    runs: List[Tuple[str, TcConfig, Optional[int]]] = [
+        ("page", TcConfig(read_cache_bytes=1), budget),
+        ("latch_free", TcConfig(
+            record_cache=True, record_cache_bytes=heap,
+            record_arena_bytes=arena), budget - heap),
+    ]
+    if not smoke:
+        runs[1:1] = [("read_cache_v4", TcConfig(read_cache_bytes=heap),
+                      budget - heap)]
+        runs.append(("latched", TcConfig(
+            record_cache=True, record_cache_bytes=heap,
+            record_arena_bytes=arena, concurrency_mode="latched"),
+            budget - heap))
+    for name, tc_config, page_cache_bytes in runs:
+        variants[name] = _run_read_only_variant(
+            tc_config, page_cache_bytes, spec, op_count, cores)
+
+    page_us = variants["page"]["core_us_per_op"]
+    latch_free_us = variants["latch_free"]["core_us_per_op"]
+    block: Dict[str, object] = {
+        "workload": "ycsb-c",
+        "cache_budget_bytes": budget,
+        "record_heap_budget_bytes": heap,
+        "record_arena_bytes": arena,
+        "variants": variants,
+        "mm_core_us_drop": (1.0 - latch_free_us / page_us)
+        if page_us else 0.0,
+    }
+    if not smoke:
+        latched_us = variants["latched"]["core_us_per_op"]
+        block["latched_core_us_drop"] = (1.0 - latched_us / page_us
+                                         if page_us else 0.0)
+        block["latch_free_vs_latched_speedup"] = (
+            latched_us / latch_free_us if latch_free_us else 0.0)
+        block["figure3"] = _run_figure3_rederivation(
+            spec, op_count, cores, heap, max(arena, 16 << 10))
+    return block
+
+
 def _run_eviction_comparison(
     record_count: int,
     op_count: int,
@@ -524,6 +761,7 @@ def run_bench(
     per_path_comparison: bool = True,
     threaded_shards: bool = False,
     trace: bool = False,
+    record_cache_comparison: bool = True,
 ) -> Dict[str, object]:
     """Run the benchmark and return the report dict (see module doc).
 
@@ -565,6 +803,9 @@ def run_bench(
         report["commit_pipeline"] = _run_commit_pipeline_block(
             record_count, op_count, batch_size, shard_counts, cores,
             value_bytes, threaded_shards, sharded.get("ycsb-a"))
+    if record_cache_comparison:
+        report["record_cache"] = _run_record_cache_block(
+            record_count, op_count, cores, value_bytes)
     if eviction_comparison:
         report["eviction"] = _run_eviction_comparison(
             record_count, op_count, cores, value_bytes)
@@ -670,6 +911,50 @@ def render(report: Dict[str, object]) -> str:
                 f"{entry['log_io_dollars_per_op']:>12.3e} "
                 f"{entry['log_capital_dollars']:>10.0f}"
             )
+    record_cache = report.get("record_cache")
+    if record_cache:
+        lines.append("")
+        lines.append(
+            f"record cache v2 ({record_cache['workload']}, "
+            f"{record_cache['cache_budget_bytes']}B cache DRAM, heap "
+            f"{record_cache['record_heap_budget_bytes']}B / arena "
+            f"{record_cache['record_arena_bytes']}B):"
+        )
+        lines.append(
+            f"  {'variant':<14s} {'core us/op':>11s} {'tc hit':>7s} "
+            f"{'page hit':>9s} {'ssd ios':>8s} {'gc reloc':>9s}"
+        )
+        for name, entry in record_cache["variants"].items():
+            tc_hit = max(entry["read_cache_hit_rate"],
+                         entry["record_cache_hit_rate"])
+            lines.append(
+                f"  {name:<14s} {entry['core_us_per_op']:>11.3f} "
+                f"{tc_hit:>7.3f} {entry['page_cache_hit_rate']:>9.3f} "
+                f"{entry['ssd_ios']:>8d} "
+                f"{entry['record_cache_gc_relocations']:>9d}"
+            )
+        lines.append(
+            f"  MM-op core-us drop vs page path: "
+            f"{record_cache['mm_core_us_drop'] * 100:.1f}% "
+            f"(floor {RECORD_CACHE_FLOOR * 100:.0f}%)"
+        )
+        figure3 = record_cache.get("figure3")
+        if figure3:
+            for side in ("before", "after"):
+                entry = figure3[side]
+                rate = entry.get("breakeven_rate_ops_per_sec")
+                crossover = (f"{rate:,.0f} ops/sec" if rate is not None
+                             else "none (caching engine dominates)")
+                lines.append(
+                    f"  figure-3 {side:<7s} Px={entry['px']:.2f} "
+                    f"Mx={entry['mx']:.2f} -> MassTree wins above "
+                    f"{crossover}"
+                )
+            shift = figure3.get("crossover_rate_shift")
+            if shift is not None:
+                lines.append(
+                    f"  crossover rate shift (after/before): {shift:.2f}x"
+                )
     eviction = report.get("eviction")
     if eviction:
         lines.append(
@@ -730,12 +1015,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "curve at 1 and 4 shards and fail if "
                              f"scaling_vs_1 < {SEED_SCALING_FLOOR} (the "
                              "v3 seed's sync-commit scaling)")
+    parser.add_argument("--record-cache-smoke", action="store_true",
+                        help="CI floor check only: page-granularity vs "
+                             "latch-free record heap at equal cache DRAM "
+                             "on tiny ycsb-c; fail if the MM-op core-us "
+                             f"drop < {RECORD_CACHE_FLOOR:.0%}")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT}); "
                              "'-' skips writing")
     args = parser.parse_args(argv)
     if args.shards is not None and args.shards <= 0:
         parser.error(f"--shards must be positive, got {args.shards}")
+
+    if args.record_cache_smoke:
+        block = _run_record_cache_block(500, 2000, args.cores, 100,
+                                        smoke=True)
+        drop = block["mm_core_us_drop"]
+        print(
+            f"record-cache smoke: ycsb-c MM-op core-us drop = "
+            f"{drop * 100:.1f}% (floor {RECORD_CACHE_FLOOR * 100:.0f}%)"
+        )
+        if drop < RECORD_CACHE_FLOOR:
+            print(
+                f"FAIL: latch-free record heap cut MM-op core-us by only "
+                f"{drop:.1%} vs the page-granularity path "
+                f"(floor {RECORD_CACHE_FLOOR:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     if args.scaling_smoke:
         curve = _run_sharded_mix(
@@ -789,6 +1097,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         per_path_comparison=per_path_comparison,
         threaded_shards=args.threaded,
         trace=args.trace,
+        record_cache_comparison=not args.smoke and args.shards is None,
     )
     print(render(report))
     if args.out != "-":
@@ -827,6 +1136,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures.append(
                 f"8-shard async ycsb-a scaling {scaling:.2f}x < "
                 f"{ASYNC_SCALING_FLOOR_8}x floor"
+            )
+    # Record-cache v2 exists to cut the MM-op cost of the TC-hit path;
+    # at equal cache DRAM the latch-free heap must clear the floor.
+    record_cache = report.get("record_cache")
+    if record_cache is not None:
+        drop = record_cache["mm_core_us_drop"]
+        if drop < RECORD_CACHE_FLOOR:
+            failures.append(
+                f"ycsb-c record-cache MM-op core-us drop {drop:.1%} < "
+                f"{RECORD_CACHE_FLOOR:.0%} floor"
             )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -12,6 +12,7 @@ The engine facade opens the root trace spans (``engine.get`` /
 from .engine import DeuteronomyEngine
 from .mvcc import Version, VersionStore
 from .read_cache import ReadCache
+from .record_cache import RecordStore
 from .recovery_log import LogRecord, RecoveryLog
 from .tc import (
     TcConfig,
@@ -31,6 +32,7 @@ __all__ = [
     "VersionStore",
     "Version",
     "ReadCache",
+    "RecordStore",
     "RecoveryLog",
     "LogRecord",
 ]

@@ -177,9 +177,15 @@ class DeuteronomyEngine:
             return results
 
     def checkpoint(self) -> None:
-        """Flush the log and every dirty data page."""
+        """Flush the log and every dirty data page.
+
+        With the record store on, committed deltas parked in the record
+        heap are drained into the DC first (after the log force — WAL
+        ordering) so the checkpoint image covers them.
+        """
         with self.machine.trace_span("engine.checkpoint", "engine"):
             self.tc.sync_log()
+            self.tc.flush_record_cache()
             self.dc.checkpoint()
 
     def collect_garbage(self, target_utilization: float = 0.8) -> int:
@@ -210,6 +216,7 @@ class DeuteronomyEngine:
         """
         summary = self.machine.summary()
         read_cache = self.tc.read_cache
+        records = self.tc.records
         page_cache = self.dc.cache
         pipeline = self.tc.pipeline
         device = pipeline.device if pipeline is not None else None
@@ -235,6 +242,16 @@ class DeuteronomyEngine:
             "read_cache_hits": read_cache.hits,
             "read_cache_misses": read_cache.misses,
             "read_cache_hit_rate": read_cache.hit_rate(),
+            "record_cache_hits": (
+                records.hits if records is not None else 0),
+            "record_cache_misses": (
+                records.misses if records is not None else 0),
+            "record_cache_hit_rate": (
+                records.hit_rate() if records is not None else 0.0),
+            "record_cache_gc_relocations": (
+                records.gc_relocations if records is not None else 0),
+            "record_heap_bytes": (
+                records.physical_bytes if records is not None else 0),
             "page_cache_touches": page_cache.stats.touches,
             "page_cache_fetches": page_cache.stats.fetches,
             "page_cache_hit_rate": page_cache.hit_rate(),

@@ -31,6 +31,7 @@ class ReadCache:
         self.misses = 0
         self.inserts = 0
         self.evicted_records = 0
+        self.rejected_inserts = 0
 
     @staticmethod
     def _entry_bytes(key: bytes, value: bytes) -> int:
@@ -47,6 +48,13 @@ class ReadCache:
 
     def insert(self, key: bytes, value: bytes) -> None:
         """Append a record read from the DC, evicting FIFO if over budget."""
+        if self._entry_bytes(key, value) > self.budget_bytes:
+            # An over-budget record would evict the whole cache and still
+            # not fit; reject it outright.  Only the admission probe is
+            # charged -- no bytes are copied.
+            self.machine.cpu.charge("hash_probe", category="tc_read_cache")
+            self.rejected_inserts += 1
+            return
         if key in self._entries:
             old = self._entries.pop(key)
             freed = self._entry_bytes(key, old)

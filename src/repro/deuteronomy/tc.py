@@ -26,6 +26,7 @@ from ..hardware.metrics import CounterSet, Histogram
 from .commit_pipeline import CommitFuture, CommitPipeline
 from .mvcc import Version, VersionStore
 from .read_cache import ReadCache
+from .record_cache import RecordStore
 from .recovery_log import LogRecord, RecoveryLog
 
 
@@ -75,11 +76,29 @@ class TcConfig:
     commit_interval_us: float = 50.0
     commit_epoch_bytes: int = 1 << 16
     log_ack_latency_us: float = 25.0
+    # Record-cache v2 (Deuteronomy 2.0): replace the FIFO read cache with
+    # a log-structured record heap serving reads *and* a blind-write fast
+    # path that defers DC page materialization to checkpoint/drain time.
+    record_cache: bool = False
+    record_cache_bytes: int = 8 << 20
+    record_arena_bytes: int = 64 << 10
+    # Drain committed-but-unapplied record deltas to the DC once this
+    # many dirty bytes accumulate (must leave GC headroom under
+    # ``record_cache_bytes``, since dirty records are pinned).
+    record_dirty_flush_bytes: int = 1 << 20
+    # How record-heap accesses are costed: "latch_free" (epoch protect +
+    # CAS install) or "latched" (latch acquire + convoy terms).
+    concurrency_mode: str = "latch_free"
 
     def __post_init__(self) -> None:
         if self.sync_commit and self.commit_pipeline:
             raise ValueError(
                 "sync_commit and commit_pipeline are mutually exclusive"
+            )
+        if self.concurrency_mode not in ("latch_free", "latched"):
+            raise ValueError(
+                "concurrency_mode must be 'latch_free' or 'latched', "
+                f"got {self.concurrency_mode!r}"
             )
 
 
@@ -114,6 +133,17 @@ class TransactionComponent:
                 epoch_bytes=self.config.commit_epoch_bytes,
             )
         self.read_cache = ReadCache(machine, self.config.read_cache_bytes)
+        # Record-cache v2: when enabled, the record heap supersedes the
+        # FIFO read cache on the read path and absorbs blind writes
+        # (pages are built lazily, at drain/checkpoint time).
+        self.records: Optional[RecordStore] = None
+        if self.config.record_cache:
+            self.records = RecordStore(
+                machine,
+                budget_bytes=self.config.record_cache_bytes,
+                arena_bytes=self.config.record_arena_bytes,
+                concurrency_mode=self.config.concurrency_mode,
+            )
         self.versions = VersionStore(machine)
         self.counters = CounterSet()
         # Group-commit batch sizes (metrics-registry histogram; observing
@@ -168,12 +198,19 @@ class TransactionComponent:
                 self.read_cache.invalidate(key)
                 # The DC update is blind: no read, just a delta post
                 # (Section 6.2 — "all transactional updates are blind
-                # updates at the Bw-tree").
-                if value is None:
+                # updates at the Bw-tree").  With the record store on,
+                # the delta lands in the record heap instead (dirty) and
+                # the DC absorbs it lazily at drain/checkpoint time —
+                # the commit never touches a page.
+                if self.records is not None and self.records.append_record(
+                        key, value, dirty=True):
+                    pass
+                elif value is None:
                     self.dc.delete(key)
                 else:
                     self.dc.upsert(key, value)
                 self.counters.add("tc.writes_applied")
+            self._maybe_drain_records()
             if txn.write_set:
                 if self.pipeline is not None:
                     self._last_future = self.pipeline.enqueue_epoch()
@@ -251,7 +288,12 @@ class TransactionComponent:
                         Version(commit_ts, record.value, buffer_ids[index]),
                     )
                     self.read_cache.invalidate(record.key)
-                    dc_ops.append((record.key, record.value))
+                    if self.records is not None and \
+                            self.records.append_record(
+                                record.key, record.value, dirty=True):
+                        pass
+                    else:
+                        dc_ops.append((record.key, record.value))
                     self.counters.add("tc.writes_applied")
                 txn.status = TxnStatus.COMMITTED
                 del self._active[txn.txn_id]
@@ -260,6 +302,7 @@ class TransactionComponent:
                 # Blind posts, exactly as in :meth:`commit`, but the DC
                 # enters its epoch and dispatches once for the whole group.
                 self.dc.apply_blind_batch(dc_ops)
+            self._maybe_drain_records()
             if records:
                 if self.pipeline is not None:
                     self._last_future = self.pipeline.enqueue_epoch(
@@ -327,21 +370,33 @@ class TransactionComponent:
                 # to the read cache / DC for the record bytes.
                 self.counters.add("tc.log_cache_stale")
 
-            # 2. Read cache of records previously fetched from the DC.
-            hit, value = self.read_cache.lookup(key)
-            if hit:
-                self.counters.add("tc.read_cache_hits")
-                return value
+            # 2. Record heap (record-cache v2) or the FIFO read cache of
+            #    records previously fetched from the DC.  A record-heap
+            #    hit may be a cached tombstone: "known deleted" without
+            #    a DC trip.
+            if self.records is not None:
+                hit, value = self.records.lookup(key)
+                if hit:
+                    self.counters.add("tc.record_cache_hits")
+                    return value
+            else:
+                hit, value = self.read_cache.lookup(key)
+                if hit:
+                    self.counters.add("tc.read_cache_hits")
+                    return value
 
             # 3. Full trip to the data component (may cost an I/O).
             result = self.dc.get_with_stats(key)
             self.counters.add("tc.dc_reads")
             if result.ios > 0:
                 self.counters.add("tc.dc_read_ios", result.ios)
-            if result.found and result.value is not None:
-                self.read_cache.insert(key, result.value)
-                return result.value
-            return None
+            found_value = result.value if result.found else None
+            if self.records is not None:
+                # Negative results are cached too (as clean tombstones).
+                self.records.append_record(key, found_value, dirty=False)
+            elif found_value is not None:
+                self.read_cache.insert(key, found_value)
+            return found_value
 
     def write(self, txn: Transaction, key: bytes,
               value: Optional[bytes]) -> None:
@@ -455,6 +510,30 @@ class TransactionComponent:
         else:
             self.log.flush()
 
+    def _maybe_drain_records(self) -> None:
+        if (self.records is not None
+                and self.records.dirty_bytes
+                >= self.config.record_dirty_flush_bytes):
+            self.flush_record_cache()
+
+    def flush_record_cache(self) -> None:
+        """Post every committed-but-unapplied record delta to the DC.
+
+        The lazy half of the blind-write fast path: pages are materialized
+        here (one blind batch) instead of once per commit.  WAL-first is
+        untouched — every drained record was logged at its commit, so a
+        crash before (or during) the drain replays it from the durable
+        log.  Called at the dirty-byte threshold and before checkpoints.
+        """
+        if self.records is None:
+            return
+        self.machine.cpu.charge("op_dispatch", category="tc")
+        ops = self.records.drain_dirty()
+        if ops:
+            self.dc.apply_blind_batch(ops)
+            self.counters.add("tc.record_cache_drains")
+            self.counters.add("tc.record_cache_drained_records", len(ops))
+
     # ------------------------------------------------------------------
     # recovery
     # ------------------------------------------------------------------
@@ -515,6 +594,7 @@ class TransactionComponent:
         return (
             dram.bytes_for("tc_recovery_log")
             + dram.bytes_for("tc_read_cache")
+            + dram.bytes_for("tc_record_cache")
             + dram.bytes_for("tc_version_store")
         )
 

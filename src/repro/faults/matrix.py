@@ -83,6 +83,12 @@ class MatrixConfig:
     segment_bytes: int = 1 << 13
     cache_capacity_bytes: int = 20 << 10
     log_buffer_bytes: int = 2 << 10
+    # Record-cache v2 sizing, deliberately tiny so the matrix traces
+    # exercise arena seals and GC relocations (the two record_cache.*
+    # fault sites) many times per run.
+    record_arena_bytes: int = 1 << 10
+    record_cache_bytes: int = 4 << 10
+    record_dirty_flush_bytes: int = 1 << 10
     scenarios: Tuple[str, ...] = SCENARIOS
 
     @classmethod
@@ -225,6 +231,10 @@ def _tc_config(config: MatrixConfig, pipelined: bool = False) -> TcConfig:
     return TcConfig(
         log_buffer_bytes=config.log_buffer_bytes,
         commit_pipeline=pipelined,
+        record_cache=True,
+        record_arena_bytes=config.record_arena_bytes,
+        record_cache_bytes=config.record_cache_bytes,
+        record_dirty_flush_bytes=config.record_dirty_flush_bytes,
     )
 
 

@@ -145,6 +145,17 @@ def _registry() -> Dict[str, FaultSite]:
             "on flash, futures forever pending",
         ),
         FaultSite(
+            "record_cache.gc_relocate",
+            "inside RecordStore.collect_garbage, before one sealed "
+            "arena's live records are relocated — the heap is mid-GC, "
+            "volatile only (WAL-first: every dirty record is logged)",
+        ),
+        FaultSite(
+            "record_cache.arena_seal",
+            "inside RecordStore.seal_arena, after the open arena fills "
+            "but before the replacement arena opens",
+        ),
+        FaultSite(
             "sharded.apply_batch.boundary",
             "inside ShardedEngine scatter/gather, between per-shard "
             "sub-batches — earlier shards committed, later ones did not",

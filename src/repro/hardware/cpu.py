@@ -99,6 +99,15 @@ class CostTable:
     commit_ack: float = 0.20           # process one device ack completion
     commit_resolve: float = 0.03       # resolve one future in LSN order
 
+    # --- latched (non-latch-free) concurrency control ---------------------
+    # Deuteronomy 2.0 contrasts latch-free structures (epoch_protect +
+    # install_cas above) against conventional latching.  A latched access
+    # pays an uncontended acquire/release pair, and mutations additionally
+    # pay an expected convoy/contention term (cache-line ping-pong plus the
+    # occasional blocked waiter, amortised per acquisition).
+    latch_acquire: float = 0.25        # acquire + release one latch pair
+    latch_convoy: float = 0.15         # expected contention cost per mutation
+
     def scaled(self, factor: float) -> "CostTable":
         """Return a table with every cost multiplied by ``factor``.
 

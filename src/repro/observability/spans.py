@@ -66,6 +66,7 @@ COMPONENT_OF_CATEGORY: Dict[str, str] = {
     "tc_mvcc": "tc",
     "tc_log": "recovery_log",
     "tc_read_cache": "read_cache",
+    "tc_record_cache": "record_cache",
     "log_store": "log_store",
     "io_path": "io_path",
     "io_retry": "io_path",
@@ -85,6 +86,7 @@ SPAN_NAMES = frozenset({
     "engine.multi_get", "engine.multi_put", "engine.multi_delete",
     "engine.apply_batch", "engine.checkpoint", "engine.collect_garbage",
     "tc.read", "tc.commit", "tc.commit_batch",
+    "record_cache.lookup", "record_cache.append", "record_cache.gc",
     "recovery_log.flush",
     "commit_pipeline.epoch_flush", "commit_pipeline.commit_wait",
     "bwtree.get", "bwtree.upsert", "bwtree.delete", "bwtree.blind_batch",

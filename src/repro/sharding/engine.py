@@ -51,6 +51,8 @@ _ADDITIVE_STAT_KEYS = (
     "operations", "core_seconds", "ssd_busy_seconds", "ssd_ios",
     "dram_bytes", "tc_dram_bytes", "commits", "aborts", "reads",
     "dc_reads", "read_cache_hits", "read_cache_misses",
+    "record_cache_hits", "record_cache_misses",
+    "record_cache_gc_relocations", "record_heap_bytes",
     "page_cache_touches", "page_cache_fetches", "log_flushes",
     "log_batch_appends", "log_device_writes", "log_device_bytes",
     "commit_epochs", "commit_wait_us", "commit_futures_resolved",
@@ -432,6 +434,12 @@ class ShardedEngine:
         probes = fleet["read_cache_hits"] + fleet["read_cache_misses"]
         fleet["read_cache_hit_rate"] = (
             fleet["read_cache_hits"] / probes if probes else 0.0
+        )
+        record_probes = (fleet["record_cache_hits"]
+                         + fleet["record_cache_misses"])
+        fleet["record_cache_hit_rate"] = (
+            fleet["record_cache_hits"] / record_probes
+            if record_probes else 0.0
         )
         touches = fleet["page_cache_touches"]
         fleet["page_cache_hit_rate"] = (

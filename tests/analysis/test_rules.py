@@ -524,6 +524,74 @@ class TestCommitPipelineTouchVerbs:
         assert not _lint_snippet(tmp_path, charged, self.RULE)
 
 
+RECORD_APPEND_POSITIVE = """\
+class FastPath:
+    def __init__(self, machine, records):
+        self.machine = machine
+        self.records = records
+
+    def post(self, key, value):
+        return self.records.append_record(key, value, dirty=True)
+"""
+
+RECORD_GC_POSITIVE = """\
+class Collector:
+    def __init__(self, machine, records):
+        self.machine = machine
+        self.records = records
+
+    def reclaim(self, key, record):
+        self.records.seal_arena()
+        self.records.relocate(key, record)
+"""
+
+
+class TestRecordCacheTouchVerbs:
+    """``append_record`` / ``relocate`` / ``seal_arena`` count as domain
+    touches: record-heap mutations on the MM hot path must charge."""
+
+    RULE = "cost-accounting"
+
+    def test_append_record_without_charge_is_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, RECORD_APPEND_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "FastPath.post" in findings[0].message
+
+    def test_append_record_with_charge_is_clean(self, tmp_path):
+        charged = RECORD_APPEND_POSITIVE.replace(
+            "        return self.records.append_record(key, value, "
+            "dirty=True)",
+            "        self.machine.cpu.charge(\"install_cas\", "
+            "category=\"tc_record_cache\")\n"
+            "        return self.records.append_record(key, value, "
+            "dirty=True)",
+        )
+        assert not _lint_snippet(tmp_path, charged, self.RULE)
+
+    def test_append_record_suppression_silences(self, tmp_path):
+        suppressed = RECORD_APPEND_POSITIVE.replace(
+            "def post(self, key, value):",
+            "def post(self, key, value):  # repro: ignore[cost-accounting]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
+    def test_relocate_and_seal_without_charge_are_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, RECORD_GC_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "Collector.reclaim" in findings[0].message
+
+    def test_relocate_and_seal_with_charge_are_clean(self, tmp_path):
+        charged = RECORD_GC_POSITIVE.replace(
+            "        self.records.seal_arena()",
+            "        self.machine.cpu.charge(\"install_cas\", "
+            "category=\"tc_record_cache\")\n"
+            "        self.records.seal_arena()",
+        )
+        assert not _lint_snippet(tmp_path, charged, self.RULE)
+
+
 # ---------------------------------------------------------------------------
 # counter-additivity against snapshot() providers (metrics registry)
 # ---------------------------------------------------------------------------

@@ -17,7 +17,8 @@ PATH_KEYS = {
 class TestRunBench:
     def test_report_shape_and_speedup(self):
         report = run_bench(mixes=["a"], record_count=300, op_count=600,
-                           batch_size=32, eviction_comparison=False)
+                           batch_size=32, eviction_comparison=False,
+                           record_cache_comparison=False)
         assert report["schema_version"] == SCHEMA_VERSION
         mix = report["mixes"]["ycsb-a"]
         assert PATH_KEYS <= set(mix["per_op"])
@@ -35,14 +36,16 @@ class TestRunBench:
 
     def test_eviction_comparison_parity(self):
         report = run_bench(mixes=[], record_count=800, op_count=1500,
-                           eviction_comparison=True)
+                           eviction_comparison=True,
+                           record_cache_comparison=False)
         eviction = report["eviction"]
         assert abs(eviction["clock_hit_rate"]
                    - eviction["lru_hit_rate"]) <= 0.02
 
     def test_render_is_textual(self):
         report = run_bench(mixes=["c"], record_count=200, op_count=300,
-                           eviction_comparison=False)
+                           eviction_comparison=False,
+                           record_cache_comparison=False)
         text = render(report)
         assert "ycsb-c" in text
         assert "speedup" in text
@@ -68,6 +71,7 @@ class TestShardedSweep:
     def test_sharded_section_shape(self):
         report = run_bench(mixes=["a"], record_count=300, op_count=600,
                            batch_size=32, eviction_comparison=False,
+                           record_cache_comparison=False,
                            shard_counts=(1, 2), per_path_comparison=False)
         assert report["mixes"] == {}
         assert report["config"]["shard_counts"] == [1, 2]
@@ -85,16 +89,89 @@ class TestShardedSweep:
 
     def test_empty_shard_counts_disable_sweep(self):
         report = run_bench(mixes=["c"], record_count=200, op_count=300,
-                           eviction_comparison=False, shard_counts=())
+                           eviction_comparison=False, shard_counts=(),
+                           record_cache_comparison=False)
         assert report["sharded"] == {}
 
     def test_render_includes_sharded_table(self):
         report = run_bench(mixes=["c"], record_count=200, op_count=300,
                            eviction_comparison=False, shard_counts=(1, 2),
-                           per_path_comparison=False)
+                           per_path_comparison=False,
+                           record_cache_comparison=False)
         text = render(report)
         assert "sharded" in text
         assert "scaling" in text
+
+
+class TestRecordCacheBlock:
+    """Schema-v5 record-granularity vs page-granularity comparison."""
+
+    VARIANT_KEYS = {
+        "core_us_per_op", "ops_per_sec", "tc_hit_rate",
+        "read_cache_hit_rate", "record_cache_hit_rate",
+        "page_cache_hit_rate", "record_cache_gc_relocations",
+        "record_heap_bytes", "ssd_ios", "dram_bytes",
+    }
+
+    def test_smoke_block_shape_and_floor(self):
+        from repro.bench.engine_bench import (
+            RECORD_CACHE_FLOOR,
+            _run_record_cache_block,
+        )
+        block = _run_record_cache_block(500, 2000, cores=4,
+                                        value_bytes=100, smoke=True)
+        assert set(block["variants"]) == {"page", "latch_free"}
+        for variant in block["variants"].values():
+            assert self.VARIANT_KEYS <= set(variant)
+        assert block.get("figure3") is None
+        # The acceptance metric: at equal cache DRAM, record-granularity
+        # caching beats page-granularity caching by the CI floor.
+        assert block["mm_core_us_drop"] >= RECORD_CACHE_FLOOR
+        page = block["variants"]["page"]
+        latch_free = block["variants"]["latch_free"]
+        # The page variant spends the whole budget at page granularity:
+        # no TC record caching, more device reads.
+        assert page["record_heap_bytes"] == 0
+        assert latch_free["record_cache_hit_rate"] > 0.5
+        assert latch_free["ssd_ios"] < page["ssd_ios"]
+
+    def test_full_block_figure3_and_latched_costing(self):
+        from repro.bench.engine_bench import _run_record_cache_block
+        block = _run_record_cache_block(300, 600, cores=4,
+                                        value_bytes=100)
+        assert set(block["variants"]) == {
+            "page", "read_cache_v4", "latch_free", "latched"}
+        # Latched mode pays acquire+convoy where latch-free pays
+        # epoch-protect+CAS on the identical trace.
+        assert block["latch_free_vs_latched_speedup"] > 1.0
+        figure3 = block["figure3"]
+        for side in ("before", "after"):
+            entry = figure3[side]
+            assert entry["px"] > 0 and entry["mx"] > 0
+            assert entry["core_us_per_op"] > 0
+        # The record heap narrows the gap to the MM system on both axes.
+        assert figure3["after"]["px"] < figure3["before"]["px"]
+        assert figure3["after"]["mx"] < figure3["before"]["mx"]
+        assert figure3["database_bytes"] > 0
+
+    def test_figure3_guard_rejects_degenerate_comparison(self):
+        from repro.bench.engine_bench import _figure3_side
+        # MassTree must be strictly faster AND bigger, else Eq 7 has no
+        # crossover to report.
+        assert _figure3_side(0.9, 2.0, 1e6, 1 << 20) is None
+        assert _figure3_side(2.0, 1.0, 1e6, 1 << 20) is None
+        side = _figure3_side(2.6, 2.1, 1e6, 1 << 20)
+        assert side["breakeven_constant"] > 0
+        assert side["breakeven_rate_ops_per_sec"] > 0
+
+    def test_render_includes_record_cache_section(self):
+        report = run_bench(mixes=[], record_count=300, op_count=400,
+                           eviction_comparison=False, shard_counts=(),
+                           record_cache_comparison=True)
+        text = render(report)
+        assert "record cache v2" in text
+        assert "figure-3" in text
+        assert "MM-op core-us drop" in text
 
 
 class TestCli:
@@ -109,6 +186,13 @@ class TestCli:
         assert report["sharded"] == {}
         captured = capsys.readouterr()
         assert "speedup" in captured.out
+
+    def test_record_cache_smoke_flag_checks_floor(self, capsys):
+        rc = cli_main(["bench-engine", "--record-cache-smoke"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "record-cache smoke" in captured.out
+        assert "floor" in captured.out
 
     def test_bench_engine_shards_flag_runs_sharded_only(self, tmp_path,
                                                         capsys):

@@ -70,3 +70,26 @@ def test_dram_accounted(cache, machine):
 def test_budget_validation(machine):
     with pytest.raises(ValueError):
         ReadCache(machine, budget_bytes=0)
+
+
+def test_over_budget_insert_is_rejected(cache, machine):
+    """An entry bigger than the whole budget must not wipe the cache.
+
+    Regression pin: insert used to evict FIFO to empty and then keep the
+    over-sized entry resident anyway, permanently over budget.
+    """
+    cache.insert(b"small", b"v" * 40)
+    before_bytes = cache.resident_bytes
+    busy_before = machine.cpu.busy_us
+    cache.insert(b"huge", b"x" * 2048)   # budget is 1024
+    # Only the admission probe was charged (one hash_probe), not a copy.
+    charged = machine.cpu.busy_us - busy_before
+    assert charged == pytest.approx(machine.cpu.costs.hash_probe)
+    # Rejected: nothing copied, nothing evicted, prior entries intact.
+    assert cache.rejected_inserts == 1
+    assert cache.resident_bytes == before_bytes
+    assert cache.evicted_records == 0
+    assert cache.lookup(b"small")[0]
+    assert not cache.lookup(b"huge")[0]
+    # DRAM never saw the over-sized entry.
+    assert machine.dram.bytes_for("tc_read_cache") == cache.resident_bytes

@@ -1,0 +1,98 @@
+"""Property tests for record-cache v2 (the log-structured record heap).
+
+Two invariants, each in both concurrency modes:
+
+* a random op trace with heap GC *forced* at random intervals is
+  read-equivalent to a plain dict model (GC/relocation never loses or
+  resurrects a record);
+* after a crash, the recovered engine matches the durable prefix — the
+  blind-write fast path stays WAL-first even with deltas parked in the
+  heap.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.bwtree import BwTree, BwTreeConfig
+from repro.deuteronomy import DeuteronomyEngine, TcConfig
+from repro.faults.matrix import _durable_view
+from repro.hardware import Machine
+
+KEYS = st.sampled_from([b"k%d" % i for i in range(8)])
+VALUES = st.binary(min_size=1, max_size=24)
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("get"), KEYS, st.none()),
+        st.tuples(st.just("delete"), KEYS, st.none()),
+    ),
+    max_size=60,
+)
+MODES = st.sampled_from(["latch_free", "latched"])
+GC_INTERVALS = st.integers(min_value=1, max_value=9)
+
+
+def make_engine(mode: str) -> DeuteronomyEngine:
+    machine = Machine.paper_default(cores=1)
+    # Tiny arenas/budget so short traces cross seal and GC boundaries.
+    dc = BwTree(machine, BwTreeConfig(segment_bytes=1 << 13))
+    return DeuteronomyEngine(
+        machine,
+        data_component=dc,
+        tc_config=TcConfig(
+            log_buffer_bytes=1 << 10,
+            record_cache=True,
+            record_cache_bytes=2 << 10,
+            record_arena_bytes=1 << 9,
+            record_dirty_flush_bytes=1 << 9,
+            concurrency_mode=mode,
+        ),
+    )
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS, mode=MODES, gc_interval=GC_INTERVALS)
+def test_trace_with_forced_gc_matches_dict_model(ops, mode, gc_interval):
+    engine = make_engine(mode)
+    model: dict = {}
+    for index, (kind, key, value) in enumerate(ops, start=1):
+        if kind == "put":
+            engine.put(key, value)
+            model[key] = value
+        elif kind == "delete":
+            engine.delete(key)
+            model.pop(key, None)
+        else:
+            assert engine.get(key) == model.get(key)
+        if index % gc_interval == 0:
+            engine.tc.records.collect_garbage()
+    for key in [b"k%d" % i for i in range(8)]:
+        assert engine.get(key) == model.get(key)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS, mode=MODES, gc_interval=GC_INTERVALS,
+       checkpoint_at=st.integers(min_value=0, max_value=60))
+def test_recovery_matches_durable_prefix(ops, mode, gc_interval,
+                                         checkpoint_at):
+    engine = make_engine(mode)
+    engine.checkpoint()   # recovery needs a baseline image on flash
+    for index, (kind, key, value) in enumerate(ops, start=1):
+        if kind == "put":
+            engine.put(key, value)
+        elif kind == "delete":
+            engine.delete(key)
+        else:
+            engine.get(key)
+        if index % gc_interval == 0:
+            engine.tc.records.collect_garbage()
+        if index == checkpoint_at:
+            engine.checkpoint()
+    expected = _durable_view([engine], {})
+    recovered = DeuteronomyEngine.recover(engine)
+    for key in [b"k%d" % i for i in range(8)]:
+        assert recovered.get(key) == expected.get(key)

@@ -205,8 +205,8 @@ class TestSpanNames:
         assert SPAN_NAMES
         components = {name.split(".", 1)[0] for name in SPAN_NAMES}
         assert components == {
-            "engine", "tc", "recovery_log", "commit_pipeline", "bwtree",
-            "page_cache", "log_store", "shard",
+            "engine", "tc", "record_cache", "recovery_log",
+            "commit_pipeline", "bwtree", "page_cache", "log_store", "shard",
         }
 
 

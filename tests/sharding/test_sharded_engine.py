@@ -238,6 +238,25 @@ class TestAggregatedStats:
         assert stats["routed_ops"] > 0
         assert stats["routed_batches"] > 0
 
+    def test_every_shard_read_cache_earns_hits(self):
+        """The router must not bypass any shard's read cache.
+
+        Bulk-loaded keys are in the DC only (no versions), so a first
+        read populates each shard's read cache and a re-read must hit it
+        — on *every* shard, not just in the fleet aggregate (BENCH v4
+        showed a fleet hit rate frozen across shard counts, which a
+        single hot shard could fake).
+        """
+        sharded = make_sharded(4)
+        keys = [b"user%06d" % index for index in range(64)]
+        sharded.bulk_load([(key, b"v") for key in keys])
+        for __ in range(2):
+            sharded.multi_get(keys)
+        stats = sharded.stats()
+        for index, shard in enumerate(stats["per_shard"]):
+            assert shard["read_cache_hits"] > 0, f"shard {index} never hit"
+            assert shard["read_cache_hit_rate"] > 0.0
+
     def test_router_work_charged_to_shard_machines(self):
         sharded = make_sharded(2)
         sharded.multi_put([(b"user%06d" % i, b"v") for i in range(50)])
