@@ -78,6 +78,10 @@ def main(argv=None) -> int:
         # Cost-attribution tracing replay (repro.observability).
         from .observability.trace_cli import main as trace_main
         return trace_main(list(argv[1:]))
+    if argv and argv[0] == "sanitize":
+        # Deterministic vector-clock race sanitizer (repro.sanitizer).
+        from .sanitizer.cli import main as sanitize_main
+        return sanitize_main(list(argv[1:]))
     if argv and argv[0] == "doc-check":
         # docs/ARCHITECTURE.md symbol consistency (repro.analysis).
         from .analysis.doccheck import main as doccheck_main
@@ -101,8 +105,10 @@ def main(argv=None) -> int:
               "deterministic fault-injection recovery matrix "
               "(see 'crash-matrix --help'); 'trace' replays a seeded "
               "workload with cost-attribution tracing (see "
-              "'trace --help'); 'doc-check' verifies that symbols named "
-              "in docs/ARCHITECTURE.md exist"),
+              "'trace --help'); 'sanitize' runs a threaded-fleet trace "
+              "under the race sanitizer (see 'sanitize --help'); "
+              "'doc-check' verifies that symbols named in the checked "
+              "docs exist"),
     )
     args = parser.parse_args(argv)
 

@@ -18,7 +18,23 @@ Rules (ids usable in ``--select`` and ``# repro: ignore[...]``):
 * ``slots-dataclass`` — hot-path dataclasses carry ``__slots__``;
 * ``mutable-default`` — no mutable default argument values;
 * ``counter-additivity`` — keys summed across shards must exist in the
-  per-shard ``stats()`` dicts.
+  per-shard ``stats()`` dicts;
+* ``wal-ordering`` — durable-content mutations (DC posts, dirty record
+  appends, checkpoints) must be dominated by a recovery-log append or
+  sync on every non-raising path, and checkpoint invalidation must
+  follow the flush of its replacement;
+* ``epoch-discipline`` — latch-free dereferences (mapping table, delta
+  chains, record heap) happen only under an epoch/latch charge, and
+  ``epoch_enter``/``epoch_exit`` pair on every path;
+* ``fault-site-coverage`` — durability mutations in the storage/TC
+  layers are preceded by a registered :data:`repro.faults.FAULT_SITES`
+  hit, so the crash matrix can reach them;
+* ``shard-isolation`` — closures dispatched onto the shard thread pool
+  touch only shard-local state.
+
+The protocol rules are the static half of a two-sided check; the
+dynamic half is :mod:`repro.sanitizer` (``python -m repro sanitize``).
+Rule-by-rule examples live in ``docs/ANALYSIS.md``.
 
 Run ``python -m repro lint`` (or see :mod:`repro.analysis.cli`).
 """

@@ -36,7 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -68,6 +68,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(
                 "unknown rule id(s): " + ", ".join(sorted(unknown))
                 + "; known: " + ", ".join(sorted(known))
+            )
+        if not select:
+            # An effectively-empty --select ("" or ",") used to run
+            # zero rules and exit 0 — a green lint that checked nothing.
+            parser.error(
+                "--select matched no rules; known: "
+                + ", ".join(sorted(known))
             )
     paths = list(options.paths) or _default_paths()
     for path in paths:

@@ -16,7 +16,17 @@ import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import PurePath
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Type,
+)
 
 #: Engine packages whose public methods must account their costs.
 COST_SCOPE_SEGMENTS = frozenset(
@@ -148,6 +158,7 @@ def all_rules() -> List[Rule]:
     from . import rules_cost  # noqa: F401
     from . import rules_determinism  # noqa: F401
     from . import rules_hotpath  # noqa: F401
+    from . import rules_protocol  # noqa: F401
 
     return [cls() for cls in _REGISTRY]
 
@@ -162,7 +173,7 @@ def in_repro_tree(source: SourceFile) -> bool:
     return "repro" in source.segments
 
 
-def scoped_to(source: SourceFile, segments: frozenset) -> bool:
+def scoped_to(source: SourceFile, segments: FrozenSet[str]) -> bool:
     """Package scoping: inside the repro tree only the named packages
     are in scope; outside it (synthetic fixtures, other projects) every
     file is checked."""
@@ -171,7 +182,9 @@ def scoped_to(source: SourceFile, segments: frozenset) -> bool:
     return True
 
 
-def iter_functions(tree: ast.AST) -> Iterator[ast.AST]:
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
     """Every function/method definition in the module, at any depth."""
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):

@@ -200,8 +200,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      "architecture doc exists in the source tree."),
     )
     parser.add_argument(
-        "docs", nargs="*", default=["docs/ARCHITECTURE.md"],
-        help="markdown files to check (default: docs/ARCHITECTURE.md)",
+        "docs", nargs="*",
+        default=["docs/ARCHITECTURE.md", "docs/ANALYSIS.md"],
+        help="markdown files to check (default: docs/ARCHITECTURE.md "
+             "and docs/ANALYSIS.md)",
     )
     parser.add_argument(
         "--package-root", default=None,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .core import SourceFile
 
@@ -183,7 +183,7 @@ class CallableInfo:
     """One function or method with its resolved call-graph facts."""
 
     qualname: str
-    node: ast.AST
+    node: ast.FunctionDef | ast.AsyncFunctionDef
     source: SourceFile
     class_name: Optional[str] = None
     charges: bool = False
@@ -529,7 +529,8 @@ def _is_state_drop(node: ast.Assign) -> bool:
     )
 
 
-def _walk_skipping_nested_defs(body: Sequence[ast.stmt]):
+def _walk_skipping_nested_defs(
+        body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
     """Walk statements without descending into nested def/class bodies.
 
     Nested functions run when *called*; their events are accounted via

@@ -1,0 +1,963 @@
+"""Protocol verifier: statically prove the WAL/epoch/fault disciplines.
+
+PR 4 found four durability bugs *dynamically* — a WAL inversion among
+them — that are really static *ordering* properties of the source: a
+recovery-log append must dominate the data-component post it covers, an
+epoch guard must dominate a latch-free dereference, a registered fault
+site must dominate a durability-critical mutation, and thread-dispatched
+closures must stay shard-local.  The crash matrix samples these
+disciplines at a handful of seeded interleavings; the four rules below
+prove them on every path, reusing the statement dataflow of the
+cost-accounting rule plus the PR-3 :class:`ProjectIndex`.
+
+* ``wal-ordering`` — in WAL-governed classes (those owning a
+  ``RecoveryLog`` directly or through one attribute hop), every DC page
+  post, dirty record-heap append, or checkpoint write must be dominated
+  on each non-raising path by a recovery-log append / ``sync_log`` /
+  pipeline ``force`` (or a call whose resolved callee logs on all of
+  its own exits).  A lexical sub-check covers PR 4's second inversion:
+  inside ``*checkpoint*`` methods that both append and invalidate
+  through the same receiver, every invalidate must follow a ``flush``
+  on that receiver.
+* ``epoch-discipline`` — in epoch-aware classes (those charging
+  ``epoch_protect`` / ``latch_acquire`` anywhere), every public
+  non-generator method must establish protection before dereferencing
+  the mapping table, the record-heap index, or a delta chain; explicit
+  ``epoch_enter`` / ``epoch_exit`` pairs must balance on every exit,
+  including early returns.  Generator methods are exempt: they execute
+  lazily under the consumer's epoch.
+* ``fault-site-coverage`` — in ``storage/`` and ``deuteronomy/``,
+  device-level durability mutations (``ssd.write``, ``submit_write``,
+  ``mark_durable``, ``drop_segment``) must be lexically dominated, in
+  the same function body, by ``faults.hit()`` on a *registered*
+  :data:`~repro.faults.plan.FAULT_SITES` name — so a new crash window
+  cannot ship uninjectable by the crash matrix.
+* ``shard-isolation`` — in modules importing ``ThreadPoolExecutor``,
+  closures defined inside methods (the thread-dispatched jobs) may only
+  touch ``self`` state that is allowlisted as synchronized.
+
+Suppress a justified exception with ``# repro: ignore[rule-id]`` on the
+flagged line (justification comment required by review convention).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..faults.plan import FAULT_SITES
+from .core import (
+    COST_SCOPE_SEGMENTS,
+    Finding,
+    LintConfig,
+    Rule,
+    SourceFile,
+    decorator_names,
+    rule,
+    scoped_to,
+)
+from .project import (
+    CallableInfo,
+    ProjectIndex,
+    _walk_skipping_nested_defs,
+    split_call,
+)
+
+# ---------------------------------------------------------------------------
+# shared machinery
+# ---------------------------------------------------------------------------
+
+#: classify(call) -> (demand message or None, is_license)
+Classifier = Callable[[ast.Call], Tuple[Optional[str], bool]]
+
+_UNLICENSED: FrozenSet[bool] = frozenset({False})
+
+
+def _iter_calls(node: ast.AST) -> List[ast.Call]:
+    """Calls inside an expression subtree, skipping nested defs/lambdas,
+    ordered by source position (the CPython evaluation order for the
+    call patterns the engine uses)."""
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        if isinstance(current, ast.Call):
+            calls.append(current)
+        stack.extend(ast.iter_child_nodes(current))
+    calls.sort(key=lambda call: (call.lineno, call.col_offset))
+    return calls
+
+
+class _DominanceFlow:
+    """Forward boolean dataflow: is every *demand* call dominated by a
+    *license* call on each non-raising path reaching it?
+
+    Structure mirrors the cost rule's ``_PathAnalyzer``: branches
+    union, loops are zero-or-more (sound because a license is monotone
+    within a path), ``raise`` exits are exempt, nested defs execute when
+    called and contribute nothing in place.
+    """
+
+    def __init__(self, classify: Classifier) -> None:
+        self._classify = classify
+        #: (line, col) -> (call, demand message); dedupes merged paths.
+        self.violations: Dict[Tuple[int, int], Tuple[ast.Call, str]] = {}
+        self.exits: Set[bool] = set()
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        fallthrough = self._block(body, _UNLICENSED)
+        self.exits.update(fallthrough)
+
+    def licensed_on_all_exits(self) -> bool:
+        return bool(self.exits) and all(self.exits)
+
+    def _apply(self, node: Optional[ast.AST],
+               states: FrozenSet[bool]) -> FrozenSet[bool]:
+        if node is None or not states:
+            return states
+        calls = _iter_calls(node)
+        if not calls:
+            return states
+        out: Set[bool] = set()
+        for state in states:
+            licensed = state
+            for call in calls:
+                demand, license_ = self._classify(call)
+                if demand is not None and not licensed:
+                    self.violations.setdefault(
+                        (call.lineno, call.col_offset), (call, demand)
+                    )
+                if license_:
+                    licensed = True
+            out.add(licensed)
+        return frozenset(out)
+
+    def _block(self, body: Sequence[ast.stmt],
+               states: FrozenSet[bool]) -> FrozenSet[bool]:
+        current = states
+        for stmt in body:
+            if not current:
+                break
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt,
+              states: FrozenSet[bool]) -> FrozenSet[bool]:
+        if isinstance(stmt, ast.Return):
+            after = self._apply(stmt.value, states)
+            self.exits.update(after)
+            return frozenset()
+        if isinstance(stmt, ast.Raise):
+            # Error paths are exempt: nothing durable is published.
+            return frozenset()
+        if isinstance(stmt, ast.If):
+            entry = self._apply(stmt.test, states)
+            return (self._block(stmt.body, entry)
+                    | self._block(stmt.orelse, entry))
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            entry = self._apply(stmt.iter, states)
+            once = self._block(stmt.body, entry)
+            merged = entry | once
+            return merged | self._block(stmt.orelse, merged)
+        if isinstance(stmt, ast.While):
+            entry = self._apply(stmt.test, states)
+            once = self._block(stmt.body, entry)
+            merged = entry | once
+            return merged | self._block(stmt.orelse, merged)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            entry = states
+            for item in stmt.items:
+                entry = self._apply(item.context_expr, entry)
+            return self._block(stmt.body, entry)
+        if isinstance(stmt, ast.Try):
+            body_out = self._block(stmt.body, states)
+            body_out = self._block(stmt.orelse, body_out)
+            handler_out: FrozenSet[bool] = frozenset()
+            for handler in stmt.handlers:
+                handler_out = handler_out | self._block(
+                    handler.body, states | body_out
+                )
+            merged = body_out | handler_out
+            if stmt.finalbody:
+                merged = self._block(stmt.finalbody, merged)
+            return merged
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return states
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return states
+        out = states
+        for child in ast.iter_child_nodes(stmt):
+            out = self._apply(child, out)
+        return out
+
+
+def _is_generator(node: ast.AST) -> bool:
+    """Does the def yield at its own nesting level?"""
+    body = getattr(node, "body", [])
+    for sub in _walk_skipping_nested_defs(body):
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _own_methods(
+    index: ProjectIndex, source: SourceFile
+) -> Iterator[Tuple[ast.ClassDef, CallableInfo]]:
+    """(class node, method info) pairs whose definition is *this* file."""
+    for node in source.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for info in index.classes.get(node.name, {}).values():
+            if info.source is source:
+                yield node, info
+
+
+def _first_str_arg(call: ast.Call) -> Optional[str]:
+    if call.args and isinstance(call.args[0], ast.Constant) \
+            and isinstance(call.args[0].value, str):
+        return call.args[0].value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# wal-ordering
+# ---------------------------------------------------------------------------
+
+#: Log verbs that license materialization when aimed at the log.
+_LOG_VERBS = frozenset({"append", "append_batch", "flush", "mark_durable"})
+#: Verbs that license on any receiver: ``sync_log`` forces the WAL by
+#: definition; ``drain_dirty`` returns records that were logged at their
+#: own commit time (the record heap admits only logged dirty data).
+_LOG_ANY_VERBS = frozenset({"sync_log", "drain_dirty"})
+#: Pipeline verbs that force the WAL through the commit pipeline.
+_PIPELINE_VERBS = frozenset({"force"})
+#: DC-side verbs that materialize committed state when aimed at the DC.
+_MATERIALIZE_DC_VERBS = frozenset({
+    "upsert", "delete", "apply_blind_batch", "checkpoint",
+    "collect_garbage",
+})
+#: Receiver tails that denote the recovery log / the data component.
+_LOG_TAILS = frozenset({"log", "wal"})
+_DC_TAILS = frozenset({"dc"})
+_PIPELINE_TAILS = frozenset({"pipeline"})
+
+
+def _wal_governed_classes(index: ProjectIndex) -> Set[str]:
+    """Classes owning a RecoveryLog, plus their one-hop owners.
+
+    The WAL contract is the log *owner's* responsibility: the TC and the
+    commit pipeline hold the ``RecoveryLog``; the engine owns the TC and
+    issues checkpoint/GC barriers.  The DC below the log boundary is
+    deliberately exempt — it never sees the WAL.
+    """
+    owners = {
+        class_name
+        for class_name, env in index.attr_types.items()
+        if "RecoveryLog" in env.values()
+    }
+    governed = set(owners)
+    for class_name, env in index.attr_types.items():
+        if any(attr_type in owners for attr_type in env.values()):
+            governed.add(class_name)
+    return governed
+
+
+@rule
+class WalOrderingRule(Rule):
+    rule_id = "wal-ordering"
+    description = (
+        "in WAL-governed classes, DC posts, dirty record-heap appends "
+        "and checkpoint writes must be dominated by a recovery-log "
+        "append/sync on every non-raising path"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              config: LintConfig) -> Iterator[Finding]:
+        index = ProjectIndex(files)
+        governed = _wal_governed_classes(index)
+        summaries = self._log_summaries(index, governed)
+        for source in files:
+            if not scoped_to(source, COST_SCOPE_SEGMENTS):
+                continue
+            for node, info in _own_methods(index, source):
+                if node.name in governed:
+                    yield from self._check_ordering(
+                        index, governed, summaries, info, source
+                    )
+                yield from self._check_checkpoint_invalidation(
+                    info, source
+                )
+
+    # -- licenses / demands ---------------------------------------------
+
+    def _is_log_write(self, index: ProjectIndex, info: CallableInfo,
+                      call: ast.Call) -> bool:
+        receiver, method = split_call(call)
+        if method is None:
+            return False
+        if method in _LOG_ANY_VERBS:
+            return True
+        if receiver:
+            tail = receiver[-1]
+            if method in _LOG_VERBS and tail in _LOG_TAILS:
+                return True
+            if method in _PIPELINE_VERBS and tail in _PIPELINE_TAILS:
+                return True
+            if receiver[0] in ("self", "cls") and len(receiver) > 1:
+                owner = index.resolve_chain(
+                    info.class_name, receiver[1:]
+                )
+                if method in _LOG_VERBS and owner == "RecoveryLog":
+                    return True
+                if method in _PIPELINE_VERBS and owner == "CommitPipeline":
+                    return True
+        return False
+
+    def _demand(self, index: ProjectIndex, info: CallableInfo,
+                call: ast.Call) -> Optional[str]:
+        receiver, method = split_call(call)
+        if method is None:
+            return None
+        if method == "write_checkpoint":
+            return "checkpoint write"
+        if method == "append_record" and any(
+            keyword.arg == "dirty"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in call.keywords
+        ):
+            return "dirty record-heap append"
+        if method in _MATERIALIZE_DC_VERBS and receiver:
+            if receiver[-1] in _DC_TAILS:
+                return f"DC {method}"
+            if receiver[0] in ("self", "cls") and len(receiver) > 1:
+                owner = index.resolve_chain(
+                    info.class_name, receiver[1:]
+                )
+                if owner == "BwTree":
+                    return f"DC {method}"
+        return None
+
+    def _classifier(
+        self, index: ProjectIndex, governed: Set[str],
+        summaries: Dict[Tuple[str, str], bool], info: CallableInfo,
+    ) -> Classifier:
+        def classify(call: ast.Call) -> Tuple[Optional[str], bool]:
+            if self._is_log_write(index, info, call):
+                return None, True
+            receiver, method = split_call(call)
+            license_ = False
+            if method is not None and receiver \
+                    and receiver[0] in ("self", "cls"):
+                callee = index._resolve_call_target(
+                    info, receiver, method
+                )
+                if callee is not None \
+                        and callee.class_name in governed \
+                        and summaries.get(
+                            (callee.class_name or "", callee.qualname)
+                        ):
+                    license_ = True
+            return self._demand(index, info, call), license_
+
+        return classify
+
+    def _log_summaries(
+        self, index: ProjectIndex, governed: Set[str]
+    ) -> Dict[Tuple[str, str], bool]:
+        """(class, qualname) -> callee issues a log write on all exits.
+
+        Fixpoint so ``sync_log`` -> ``commit`` -> engine wrappers chain.
+        """
+        infos = [
+            info
+            for class_name in governed
+            for info in index.classes.get(class_name, {}).values()
+        ]
+        summaries: Dict[Tuple[str, str], bool] = {}
+        for _ in range(4):
+            changed = False
+            for info in infos:
+                key = (info.class_name or "", info.qualname)
+
+                def classify(call: ast.Call,
+                             _info: CallableInfo = info
+                             ) -> Tuple[Optional[str], bool]:
+                    if self._is_log_write(index, _info, call):
+                        return None, True
+                    receiver, method = split_call(call)
+                    if method is not None and receiver \
+                            and receiver[0] in ("self", "cls"):
+                        callee = index._resolve_call_target(
+                            _info, receiver, method
+                        )
+                        if callee is not None and summaries.get(
+                            (callee.class_name or "", callee.qualname)
+                        ):
+                            return None, True
+                    return None, False
+
+                flow = _DominanceFlow(classify)
+                flow.run(list(getattr(info.node, "body", [])))
+                value = flow.licensed_on_all_exits()
+                if summaries.get(key) != value:
+                    summaries[key] = value
+                    changed = True
+            if not changed:
+                break
+        return summaries
+
+    def _check_ordering(
+        self, index: ProjectIndex, governed: Set[str],
+        summaries: Dict[Tuple[str, str], bool], info: CallableInfo,
+        source: SourceFile,
+    ) -> Iterator[Finding]:
+        flow = _DominanceFlow(
+            self._classifier(index, governed, summaries, info)
+        )
+        flow.run(list(getattr(info.node, "body", [])))
+        for (line, col), (__, what) in sorted(flow.violations.items()):
+            yield Finding(
+                path=source.path, line=line, col=col, rule=self.rule_id,
+                message=(
+                    f"{info.qualname}: {what} is reachable before any "
+                    "recovery-log append/sync on this path — WAL "
+                    "inversion; log (or sync_log/pipeline.force) first"
+                ),
+            )
+
+    def _check_checkpoint_invalidation(
+        self, info: CallableInfo, source: SourceFile
+    ) -> Iterator[Finding]:
+        """PR 4's second bug: checkpoint code invalidated the previous
+        image before the replacement was flushed durable."""
+        if "checkpoint" not in info.node.name.lower():
+            return
+        appends: Set[Tuple[str, ...]] = set()
+        flushes: Dict[Tuple[str, ...], int] = {}
+        invalidates: List[Tuple[Tuple[str, ...], ast.Call]] = []
+        body = list(getattr(info.node, "body", []))
+        for node in _walk_skipping_nested_defs(body):
+            if not isinstance(node, ast.Call):
+                continue
+            receiver, method = split_call(node)
+            if receiver is None or not receiver:
+                continue
+            if method == "append":
+                appends.add(receiver)
+            elif method == "flush":
+                previous = flushes.get(receiver)
+                if previous is None or node.lineno < previous:
+                    flushes[receiver] = node.lineno
+            elif method == "invalidate":
+                invalidates.append((receiver, node))
+        for receiver, call in invalidates:
+            if receiver not in appends:
+                continue
+            flushed_at = flushes.get(receiver)
+            if flushed_at is not None and flushed_at < call.lineno:
+                continue
+            yield Finding(
+                path=source.path, line=call.lineno,
+                col=call.col_offset, rule=self.rule_id,
+                message=(
+                    f"{info.qualname}: invalidates via "
+                    f"{'.'.join(receiver)} before flushing the "
+                    "replacement image it appended — a crash here "
+                    "loses both copies; flush before invalidate"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# epoch-discipline
+# ---------------------------------------------------------------------------
+
+_EPOCH_SCOPE_SEGMENTS = frozenset({"bwtree", "deuteronomy"})
+#: Charge labels that establish latch-free protection on a path.
+_PROTECT_LABELS = frozenset({"epoch_protect", "latch_acquire"})
+#: Receiver tails whose ``get``/``pop`` is a latch-free dereference.
+_DEREF_TAILS = frozenset({"mapping_table", "_index"})
+#: Verbs that dereference a delta chain / arena on any receiver.
+_DEREF_ANY_VERBS = frozenset({"prepend_delta", "iter_records"})
+_EPOCH_ENTER_VERBS = frozenset({"epoch_enter", "enter_epoch"})
+_EPOCH_EXIT_VERBS = frozenset({"epoch_exit", "exit_epoch"})
+
+
+def _is_protect_charge(call: ast.Call) -> bool:
+    from .project import CHARGE_ATTRS
+
+    __, method = split_call(call)
+    return (method in CHARGE_ATTRS
+            and _first_str_arg(call) in _PROTECT_LABELS)
+
+
+def _direct_deref(call: ast.Call) -> Optional[str]:
+    receiver, method = split_call(call)
+    if method in _DEREF_ANY_VERBS:
+        return f"{method}() delta-chain/arena dereference"
+    if receiver:
+        tail = receiver[-1]
+        if method in {"get", "pop"} and tail in _DEREF_TAILS:
+            return f"{tail}.{method}() dereference"
+        if method == "lookup" and tail == "state":
+            return "page-state lookup"
+    return None
+
+
+def _epoch_aware_classes(index: ProjectIndex) -> Set[str]:
+    """Classes that charge epoch/latch protection somewhere: only these
+    opted into the latch-free discipline (``ReadCache`` has an
+    ``_index`` too, but it is latched — not this rule's business)."""
+    aware: Set[str] = set()
+    for class_name, methods in index.classes.items():
+        for info in methods.values():
+            body = list(getattr(info.node, "body", []))
+            for node in _walk_skipping_nested_defs(body):
+                if isinstance(node, ast.Call) and (
+                    _is_protect_charge(node)
+                    or split_call(node)[1] in _EPOCH_ENTER_VERBS
+                ):
+                    aware.add(class_name)
+                    break
+            if class_name in aware:
+                break
+    return aware
+
+
+@rule
+class EpochDisciplineRule(Rule):
+    rule_id = "epoch-discipline"
+    description = (
+        "latch-free dereferences (mapping table, record-heap index, "
+        "delta chains) must sit behind an epoch_protect/latch_acquire "
+        "charge; explicit epoch enter/exit must pair on every exit"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              config: LintConfig) -> Iterator[Finding]:
+        index = ProjectIndex(files)
+        aware = _epoch_aware_classes(index)
+        protects, derefs = self._summaries(index, aware)
+        for source in files:
+            if not scoped_to(source, _EPOCH_SCOPE_SEGMENTS):
+                continue
+            for node, info in _own_methods(index, source):
+                if node.name not in aware:
+                    continue
+                yield from self._check_pairing(info, source)
+                if info.node.name.startswith("_"):
+                    continue
+                if "property" in set(decorator_names(info.node)):
+                    continue
+                if _is_generator(info.node):
+                    continue
+                flow = _DominanceFlow(
+                    self._classifier(index, info, protects, derefs)
+                )
+                flow.run(list(getattr(info.node, "body", [])))
+                for (line, col), (__, what) in sorted(
+                    flow.violations.items()
+                ):
+                    yield Finding(
+                        path=source.path, line=line, col=col,
+                        rule=self.rule_id,
+                        message=(
+                            f"{info.qualname}: {what} on a path with no "
+                            "epoch_protect/latch_acquire charge — a "
+                            "concurrent reclaimer may free what this "
+                            "reads; protect the epoch first"
+                        ),
+                    )
+
+    def _classifier(
+        self, index: ProjectIndex, info: CallableInfo,
+        protects: Dict[str, bool], derefs: Dict[str, bool],
+    ) -> Classifier:
+        def classify(call: ast.Call) -> Tuple[Optional[str], bool]:
+            if _is_protect_charge(call):
+                return None, True
+            # Pattern first: ``self.mapping_table.get`` must stay a
+            # dereference even though MappingTable.get resolves.
+            direct = _direct_deref(call)
+            if direct is not None:
+                return direct, False
+            receiver, method = split_call(call)
+            if method is not None and receiver \
+                    and receiver[0] in ("self", "cls"):
+                callee = index._resolve_call_target(
+                    info, receiver, method
+                )
+                if callee is not None \
+                        and callee.class_name == info.class_name:
+                    demand = None
+                    if derefs.get(callee.qualname):
+                        demand = (
+                            f"call to {callee.qualname} (dereferences "
+                            "without protecting)"
+                        )
+                    return demand, bool(protects.get(callee.qualname))
+            return None, False
+
+        return classify
+
+    def _summaries(
+        self, index: ProjectIndex, aware: Set[str]
+    ) -> Tuple[Dict[str, bool], Dict[str, bool]]:
+        """qualname -> protects-on-all-exits / has-unprotected-deref,
+        for folding private helpers (``_descend``, ``_write_record``)
+        into their public callers."""
+        infos = [
+            info
+            for class_name in aware
+            for info in index.classes.get(class_name, {}).values()
+        ]
+        protects: Dict[str, bool] = {}
+        derefs: Dict[str, bool] = {}
+        for _ in range(4):
+            changed = False
+            for info in infos:
+                if _is_generator(info.node):
+                    # Runs lazily under the consumer's epoch.
+                    continue
+                flow = _DominanceFlow(
+                    self._classifier(index, info, protects, derefs)
+                )
+                flow.run(list(getattr(info.node, "body", [])))
+                new_protect = flow.licensed_on_all_exits()
+                new_deref = bool(flow.violations)
+                if protects.get(info.qualname) != new_protect:
+                    protects[info.qualname] = new_protect
+                    changed = True
+                if derefs.get(info.qualname) != new_deref:
+                    derefs[info.qualname] = new_deref
+                    changed = True
+            if not changed:
+                break
+        return protects, derefs
+
+    def _check_pairing(self, info: CallableInfo,
+                       source: SourceFile) -> Iterator[Finding]:
+        analyzer = _EpochPairing()
+        analyzer.run(list(getattr(info.node, "body", [])))
+        for line, col in sorted(analyzer.leaks):
+            yield Finding(
+                path=source.path, line=line, col=col, rule=self.rule_id,
+                message=(
+                    f"{info.qualname}: an entered epoch can leak here "
+                    "(epoch_enter without epoch_exit on this path); "
+                    "exit in a finally block"
+                ),
+            )
+
+
+class _EpochPairing:
+    """Depth dataflow for explicit epoch_enter/epoch_exit pairing.
+
+    The production code protects by *charging* (scalar cost, no handle),
+    so this pass finds nothing there; it guards the explicit-handle
+    style fixtures and any future code that adopts it.
+    """
+
+    _CAP = 4
+
+    def __init__(self) -> None:
+        self.leaks: Set[Tuple[int, int]] = set()
+        #: exits (return/raise) pending their enclosing finally blocks.
+        self._exits: List[Tuple[ast.stmt, FrozenSet[int]]] = []
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        out = self._block(body, frozenset({0}))
+        for node, states in self._exits:
+            self._exit(node, states)
+        for depth in out:
+            if depth > 0 and body:
+                last = body[-1]
+                self.leaks.add((last.lineno, last.col_offset))
+
+    def _apply(self, node: Optional[ast.AST],
+               states: FrozenSet[int]) -> FrozenSet[int]:
+        if node is None or not states:
+            return states
+        for call in _iter_calls(node):
+            __, method = split_call(call)
+            if method in _EPOCH_ENTER_VERBS:
+                states = frozenset(
+                    min(depth + 1, self._CAP) for depth in states
+                )
+            elif method in _EPOCH_EXIT_VERBS:
+                states = frozenset(
+                    max(depth - 1, 0) for depth in states
+                )
+        return states
+
+    def _exit(self, node: ast.stmt, states: FrozenSet[int]) -> None:
+        for depth in states:
+            if depth > 0:
+                self.leaks.add((node.lineno, node.col_offset))
+
+    def _block(self, body: Sequence[ast.stmt],
+               states: FrozenSet[int]) -> FrozenSet[int]:
+        current = states
+        for stmt in body:
+            if not current:
+                break
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt,
+              states: FrozenSet[int]) -> FrozenSet[int]:
+        if isinstance(stmt, ast.Return):
+            after = self._apply(stmt.value, states)
+            self._exits.append((stmt, after))
+            return frozenset()
+        if isinstance(stmt, ast.Raise):
+            # Unlike WAL/cost accounting, raising with an epoch held
+            # leaks it — raise paths are NOT exempt here.
+            self._exits.append((stmt, states))
+            return frozenset()
+        if isinstance(stmt, ast.If):
+            entry = self._apply(stmt.test, states)
+            return (self._block(stmt.body, entry)
+                    | self._block(stmt.orelse, entry))
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            entry = self._apply(stmt.iter, states)
+            once = self._block(stmt.body, entry)
+            merged = entry | once
+            return merged | self._block(stmt.orelse, merged)
+        if isinstance(stmt, ast.While):
+            entry = self._apply(stmt.test, states)
+            once = self._block(stmt.body, entry)
+            merged = entry | once
+            return merged | self._block(stmt.orelse, merged)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            entry = states
+            for item in stmt.items:
+                entry = self._apply(item.context_expr, entry)
+            return self._block(stmt.body, entry)
+        if isinstance(stmt, ast.Try):
+            mark = len(self._exits)
+            body_out = self._block(stmt.body, states)
+            body_out = self._block(stmt.orelse, body_out)
+            handler_out: FrozenSet[int] = frozenset()
+            for handler in stmt.handlers:
+                handler_out = handler_out | self._block(
+                    handler.body, states | body_out
+                )
+            merged = body_out | handler_out
+            if stmt.finalbody:
+                # Exits inside the try run the finally first — an
+                # epoch_exit there balances an early return.
+                deferred = self._exits[mark:]
+                del self._exits[mark:]
+                for node, exit_states in deferred:
+                    self._exits.append(
+                        (node, self._block(stmt.finalbody, exit_states))
+                    )
+                merged = self._block(stmt.finalbody, merged)
+            return merged
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return states
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return states
+        out = states
+        for child in ast.iter_child_nodes(stmt):
+            out = self._apply(child, out)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# fault-site-coverage
+# ---------------------------------------------------------------------------
+
+_FAULT_SCOPE_SEGMENTS = frozenset({"storage", "deuteronomy"})
+#: Device-level mutations that open a crash window on any receiver.
+_MUTATION_ANY_VERBS = frozenset({
+    "submit_write", "mark_durable", "drop_segment",
+})
+#: Receiver tails whose ``write`` is a raw device write.
+_DEVICE_TAILS = frozenset({"ssd", "device"})
+
+
+def _module_str_constants(tree: ast.Module) -> Dict[str, str]:
+    """Top-level ``NAME = "literal"`` assignments (SITE_* constants)."""
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = node.value.value
+    return constants
+
+
+def _function_bodies(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every def in the module, nested closures included — each body is
+    checked for dominance independently (a hit in the enclosing method
+    does not execute when the closure later runs on its own)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@rule
+class FaultSiteCoverageRule(Rule):
+    rule_id = "fault-site-coverage"
+    description = (
+        "device-level durability mutations in storage/ and deuteronomy/ "
+        "must be dominated, in the same function body, by faults.hit() "
+        "on a registered FaultSite"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              config: LintConfig) -> Iterator[Finding]:
+        for source in files:
+            if not scoped_to(source, _FAULT_SCOPE_SEGMENTS):
+                continue
+            constants = _module_str_constants(source.tree)
+            for node in _function_bodies(source.tree):
+                yield from self._check_body(source, node, constants)
+
+    def _site_name(self, call: ast.Call,
+                   constants: Dict[str, str]) -> Optional[str]:
+        if not call.args:
+            return None
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.Name):
+            return constants.get(arg.id)
+        return None
+
+    def _mutation(self, call: ast.Call) -> Optional[str]:
+        receiver, method = split_call(call)
+        if method in _MUTATION_ANY_VERBS:
+            return f"{method}()"
+        if method == "write" and receiver \
+                and receiver[-1] in _DEVICE_TAILS:
+            return f"{receiver[-1]}.write()"
+        return None
+
+    def _check_body(self, source: SourceFile, node: ast.AST,
+                    constants: Dict[str, str]) -> Iterator[Finding]:
+        body = list(getattr(node, "body", []))
+        hits: List[int] = []
+        mutations: List[Tuple[ast.Call, str]] = []
+        for sub in _walk_skipping_nested_defs(body):
+            if not isinstance(sub, ast.Call):
+                continue
+            __, method = split_call(sub)
+            if method == "hit":
+                site = self._site_name(sub, constants)
+                if site is not None and site in FAULT_SITES:
+                    hits.append(sub.lineno)
+            else:
+                what = self._mutation(sub)
+                if what is not None:
+                    mutations.append((sub, what))
+        for call, what in mutations:
+            if any(line <= call.lineno for line in hits):
+                continue
+            yield Finding(
+                path=source.path, line=call.lineno,
+                col=call.col_offset, rule=self.rule_id,
+                message=(
+                    f"{what} opens a crash window with no registered "
+                    "FaultSite hit() before it in this body — the "
+                    "crash matrix cannot inject here; add a FaultSite "
+                    "to repro.faults.plan and call faults.hit() first"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# shard-isolation
+# ---------------------------------------------------------------------------
+
+#: ``self`` attributes a thread-dispatched closure may touch: objects
+#: that are synchronized (the sanitizer carries its own lock) or
+#: explicitly guarded against threaded use at construction time (the
+#: fault injector — ShardedEngine refuses threaded+faults).
+_SHARD_SAFE_ATTRS = frozenset({"faults", "_sanitizer", "sanitizer"})
+
+
+def _imports_thread_pool(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if any(alias.name == "ThreadPoolExecutor"
+                   for alias in node.names):
+                return True
+        elif isinstance(node, ast.Import):
+            if any("concurrent" in alias.name for alias in node.names):
+                return True
+    return False
+
+
+@rule
+class ShardIsolationRule(Rule):
+    rule_id = "shard-isolation"
+    description = (
+        "closures dispatched on the thread pool must touch only "
+        "shard-local state, not unsynchronized self attributes"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              config: LintConfig) -> Iterator[Finding]:
+        for source in files:
+            if not scoped_to(source, COST_SCOPE_SEGMENTS):
+                continue
+            if not _imports_thread_pool(source.tree):
+                continue
+            for node in source.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        yield from self._check_method(source, item)
+
+    def _check_method(self, source: SourceFile,
+                      method: ast.AST) -> Iterator[Finding]:
+        for closure in ast.walk(method):
+            if closure is method or not isinstance(
+                closure, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.Lambda)
+            ):
+                continue
+            for sub in ast.walk(closure):
+                if not (isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"):
+                    continue
+                if sub.attr in _SHARD_SAFE_ATTRS:
+                    continue
+                name = getattr(closure, "name", "<lambda>")
+                yield Finding(
+                    path=source.path, line=sub.lineno,
+                    col=sub.col_offset, rule=self.rule_id,
+                    message=(
+                        f"closure {name!r} may run on the shard thread "
+                        f"pool but touches self.{sub.attr} — cross-"
+                        "shard state is unsynchronized there; pass "
+                        "shard-local values in, or allowlist the "
+                        "attribute if it is synchronized"
+                    ),
+                )

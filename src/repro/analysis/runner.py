@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from .core import Finding, LintConfig, SourceFile, all_rules
 
@@ -81,8 +81,69 @@ def render_findings(findings: Sequence[Finding],
         return json.dumps(
             [finding.as_dict() for finding in findings], indent=2
         )
+    if fmt == "sarif":
+        return json.dumps(render_sarif(findings), indent=2)
     lines = [finding.render() for finding in findings]
     if findings:
         noun = "finding" if len(findings) == 1 else "findings"
         lines.append(f"{len(findings)} {noun}")
     return "\n".join(lines)
+
+
+def render_sarif(findings: Sequence[Finding]) -> Dict[str, object]:
+    """SARIF 2.1.0 log for the GitHub code-scanning upload action.
+
+    Valid with zero findings (an empty ``results`` list): CI uploads the
+    clean run too, so scanning alerts auto-close when a finding is
+    fixed.
+    """
+    rules = [
+        {
+            "id": instance.rule_id,
+            "shortDescription": {"text": instance.description},
+        }
+        for instance in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": os.path.relpath(finding.path),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -282,6 +282,7 @@ class RecordStore:
         Clears the ``referenced`` bit — a clean record survives exactly
         one collection on the strength of a lookup.
         """
+        self._charge_protect()
         self.machine.cpu.charge("pointer_chase", category=CHARGE_CATEGORY)
         was_dirty = record.dirty
         self._write_record(key, record.value, record.nbytes, was_dirty,
@@ -300,6 +301,7 @@ class RecordStore:
         """
         with self.machine.trace_span("record_cache.gc", "record_cache"):
             self.machine.cpu.charge("op_dispatch", category=CHARGE_CATEGORY)
+            self._charge_protect()
             self.gc_passes += 1
             faults = self.machine.faults
             candidates = [a for a in self._sealed if a.seal_epoch <= self.epoch]

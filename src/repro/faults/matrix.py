@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bwtree.tree import BwTreeConfig
 from ..deuteronomy.engine import DeuteronomyEngine
@@ -49,6 +49,9 @@ from .plan import (
 from .retry import RetryStats
 
 Op = Tuple[str, bytes, Optional[bytes]]
+
+#: Either crash-matrix subject: a single engine or a sharded fleet.
+Engine = Union[DeuteronomyEngine, ShardedEngine]
 
 # "-async" variants run the same trace with the epoch-based commit
 # pipeline on, so the async-window fault sites (epoch open, pre-ack,
@@ -239,7 +242,7 @@ def _tc_config(config: MatrixConfig, pipelined: bool = False) -> TcConfig:
 
 
 def _build(scenario: str, config: MatrixConfig,
-           injector: FaultInjector):
+           injector: FaultInjector) -> Engine:
     """A fresh engine (or fleet) with every machine sharing ``injector``."""
     pipelined = scenario.endswith("-async")
     base = _base_scenario(scenario)
@@ -267,7 +270,8 @@ def _build(scenario: str, config: MatrixConfig,
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
-def _setup(scenario: str, engine, baseline: Dict[bytes, bytes]) -> None:
+def _setup(scenario: str, engine: Engine,
+           baseline: Dict[bytes, bytes]) -> None:
     """Load the baseline and take the first checkpoint (faults disarmed)."""
     items = sorted(baseline.items())
     if _base_scenario(scenario) == "engine":
@@ -277,7 +281,7 @@ def _setup(scenario: str, engine, baseline: Dict[bytes, bytes]) -> None:
     engine.checkpoint()
 
 
-def _drive(scenario: str, engine, ops: Sequence[Op],
+def _drive(scenario: str, engine: Engine, ops: Sequence[Op],
            config: MatrixConfig) -> None:
     """Replay the trace with periodic checkpoints and GC passes."""
     if _base_scenario(scenario) == "engine":
@@ -305,7 +309,8 @@ def _drive(scenario: str, engine, ops: Sequence[Op],
                 shard.collect_garbage(config.gc_target)
 
 
-def _shard_engines(scenario: str, engine) -> List[DeuteronomyEngine]:
+def _shard_engines(scenario: str,
+                   engine: Engine) -> List[DeuteronomyEngine]:
     if _base_scenario(scenario) == "engine":
         return [engine]
     return list(engine.shards)
@@ -331,7 +336,7 @@ def _durable_view(shards: Sequence[DeuteronomyEngine],
     return expected
 
 
-def _check_oracle(scenario: str, recovered,
+def _check_oracle(scenario: str, recovered: Engine,
                   expected: Dict[bytes, bytes],
                   keys: Sequence[bytes]) -> List[str]:
     violations: List[str] = []
@@ -363,7 +368,7 @@ def _check_oracle(scenario: str, recovered,
     return violations
 
 
-def _recover(scenario: str, engine):
+def _recover(scenario: str, engine: Engine) -> Engine:
     if _base_scenario(scenario) == "engine":
         return DeuteronomyEngine.recover(engine)
     return ShardedEngine.recover(engine)
@@ -474,9 +479,11 @@ def _noise_pass(config: MatrixConfig, baseline: Dict[bytes, bytes],
     return retries, violations
 
 
-def run_matrix(config: MatrixConfig,
-               noise_probability: float = 0.0,
-               progress=None) -> MatrixReport:
+def run_matrix(
+    config: MatrixConfig,
+    noise_probability: float = 0.0,
+    progress: Optional[Callable[[CaseResult], None]] = None,
+) -> MatrixReport:
     """Count hits, then crash-and-recover every sampled (site, hit) pair."""
     baseline, ops = build_trace(config)
     cases: List[CaseResult] = []
@@ -563,7 +570,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         config = MatrixConfig(seed=args.seed, ops=args.ops)
         noise = args.noise
-    overrides = {}
+    overrides: Dict[str, object] = {}
     if args.records is not None:
         overrides["records"] = args.records
     if args.shards is not None:

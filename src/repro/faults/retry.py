@@ -13,9 +13,12 @@ virtual time via the CPU model, like every other cost in the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, TypeVar
+from typing import TYPE_CHECKING, Callable, Optional, TypeVar
 
 from .plan import IoError
+
+if TYPE_CHECKING:  # keep faults import-independent of hardware
+    from ..hardware.machine import Machine
 
 T = TypeVar("T")
 
@@ -64,7 +67,7 @@ class RetryStats:
 
 
 def run_with_retries(
-    machine,
+    machine: Machine,
     attempt: Callable[[], T],
     policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     stats: Optional[RetryStats] = None,

@@ -22,6 +22,7 @@ from .ssd import SimulatedSsd, SsdSpec
 if TYPE_CHECKING:  # deliberate: hardware stays import-independent of faults
     from ..faults.plan import FaultInjector
     from ..observability.spans import Tracer
+    from ..sanitizer.core import RaceSanitizer
 
 #: Shared no-op context manager returned by :meth:`Machine.trace_span`
 #: when no tracer is attached.  ``nullcontext`` is stateless, so one
@@ -113,6 +114,10 @@ class Machine:
         # Optional trace-span tracer (repro.observability); installed via
         # :meth:`attach_tracer`, same single-attribute-check pattern.
         self.tracer: Tracer | None = None
+        # Optional race sanitizer (repro.sanitizer); instrumented sites
+        # report happens-before events on named objects when set.  Same
+        # single-attribute-check pattern as faults and tracer.
+        self.sanitizer: RaceSanitizer | None = None
 
     # --- tracing -----------------------------------------------------------
 

@@ -1,0 +1,15 @@
+"""TSan-lite for the virtual-time engine: deterministic race reports.
+
+The static ``shard-isolation`` lint proves thread-dispatched closures
+touch only shard-local state *syntactically*; this package checks the
+same discipline *dynamically* — a vector-clock happens-before checker
+with per-object ownership tracking, instrumented into the sharded
+engine's thread dispatch and the commit pipeline's ack drain.  All
+clocks are logical (fork/join/access counts), so reports are byte-
+identical across runs of the same seeded trace, whatever the real
+thread interleaving was.
+"""
+
+from .core import MAIN_TASK, Race, RaceSanitizer
+
+__all__ = ["MAIN_TASK", "Race", "RaceSanitizer"]

@@ -1,0 +1,208 @@
+"""Deterministic vector-clock race sanitizer (TSan-lite).
+
+Tracks *logical tasks* (``"main"``, ``"shard-0"``, ...) rather than OS
+threads: the dispatcher declares ``fork``/``join`` edges around every
+thread-pool scatter, workers run inside ``task(label)``, and
+instrumented code reports ``read``/``write`` on *named* objects.  Two
+accesses to the same object race when they come from different tasks,
+at least one is a write, and neither's vector clock orders it before
+the other.
+
+Determinism: every clock component counts that task's own events
+(forks, joins, accesses), so snapshots depend only on the program
+structure and the seeded trace — never on real thread scheduling.
+Reports are therefore byte-identical across runs; the finalize-time
+pairing is computed over sorted task labels in object-naming order.
+
+Overhead when detached is one ``is None`` test per instrumented point,
+and instrumentation points themselves sit behind ``__debug__``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+#: The label of the coordinating task (the caller of fork/join).
+MAIN_TASK = "main"
+
+_Clock = Dict[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Race:
+    """One unordered conflicting access pair on a named object."""
+
+    obj: str
+    owner: Optional[str]
+    task_a: str
+    access_a: str
+    task_b: str
+    access_b: str
+
+    def render(self) -> str:
+        owner = self.owner if self.owner is not None else "<unowned>"
+        return (
+            f"RACE on {self.obj} (owner {owner}): "
+            f"{self.task_a} {self.access_a} is unordered with "
+            f"{self.task_b} {self.access_b}"
+        )
+
+
+class RaceSanitizer:
+    """Vector-clock happens-before checker over logical tasks.
+
+    Thread-safe: a single lock guards the clocks and access tables (the
+    sanitizer may serialize what the engine runs concurrently — it
+    checks the *declared* ordering, not the accidental one).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current = threading.local()
+        self._clocks: Dict[str, _Clock] = {MAIN_TASK: {MAIN_TASK: 1}}
+        #: id(obj) -> stable label given by name_object().
+        self._names: Dict[int, str] = {}
+        #: object label -> {(task, kind) -> (clock snapshot, op)}.
+        self._accesses: Dict[
+            str, Dict[Tuple[str, str], Tuple[_Clock, str]]
+        ] = {}
+        #: object label -> first writing task.
+        self._owners: Dict[str, str] = {}
+        #: object labels in naming order (stable report order).
+        self._order: List[str] = []
+
+    # --- task identity -------------------------------------------------
+
+    @property
+    def current_task(self) -> str:
+        return getattr(self._current, "label", MAIN_TASK)
+
+    @contextmanager
+    def task(self, label: str) -> Iterator[None]:
+        """Run the body as logical task ``label`` on this OS thread."""
+        previous = getattr(self._current, "label", MAIN_TASK)
+        self._current.label = label
+        try:
+            yield
+        finally:
+            self._current.label = previous
+
+    def bound(self, label: str,
+              fn: Callable[[], object]) -> Callable[[], object]:
+        """``fn`` wrapped to run inside ``task(label)``."""
+
+        def runner() -> object:
+            with self.task(label):
+                return fn()
+
+        return runner
+
+    def _tick(self, label: str) -> _Clock:
+        clock = self._clocks.setdefault(label, {})
+        clock[label] = clock.get(label, 0) + 1
+        return clock
+
+    def fork(self, child: str, parent: str = MAIN_TASK) -> None:
+        """Everything ``parent`` did so far happens-before ``child``."""
+        with self._lock:
+            parent_clock = self._tick(parent)
+            child_clock = self._clocks.setdefault(child, {})
+            for label, tick in parent_clock.items():
+                if child_clock.get(label, 0) < tick:
+                    child_clock[label] = tick
+            self._tick(child)
+
+    def join(self, child: str, parent: str = MAIN_TASK) -> None:
+        """Everything ``child`` did happens-before ``parent`` from now."""
+        with self._lock:
+            child_clock = self._tick(child)
+            parent_clock = self._clocks.setdefault(parent, {})
+            for label, tick in child_clock.items():
+                if parent_clock.get(label, 0) < tick:
+                    parent_clock[label] = tick
+            self._tick(parent)
+
+    # --- object registry -----------------------------------------------
+
+    def name_object(self, obj: object, label: str) -> None:
+        """Track ``obj`` under ``label``; unnamed objects are ignored."""
+        with self._lock:
+            self._names[id(obj)] = label
+            if label not in self._accesses:
+                self._accesses[label] = {}
+                self._order.append(label)
+
+    # --- instrumented accesses -----------------------------------------
+
+    def read(self, obj: Union[object, str], op: str = "read") -> None:
+        self._access(obj, "r", op)
+
+    def write(self, obj: Union[object, str], op: str = "write") -> None:
+        self._access(obj, "w", op)
+
+    def _access(self, obj: Union[object, str], kind: str,
+                op: str) -> None:
+        if isinstance(obj, str):
+            name: Optional[str] = obj
+        else:
+            name = self._names.get(id(obj))
+        if name is None:
+            return
+        task = self.current_task
+        with self._lock:
+            snapshot = dict(self._tick(task))
+            slots = self._accesses.get(name)
+            if slots is None:
+                slots = self._accesses[name] = {}
+                self._order.append(name)
+            # Last access per (task, kind) suffices: accesses within one
+            # task are totally ordered, so the last one carries the
+            # freshest clock and any unordered peer conflicts with it.
+            slots[(task, kind)] = (snapshot, op)
+            if kind == "w" and name not in self._owners:
+                self._owners[name] = task
+
+    # --- report ----------------------------------------------------------
+
+    @staticmethod
+    def _ordered(task_a: str, clock_a: _Clock,
+                 task_b: str, clock_b: _Clock) -> bool:
+        a_before_b = clock_b.get(task_a, 0) >= clock_a.get(task_a, 0)
+        b_before_a = clock_a.get(task_b, 0) >= clock_b.get(task_b, 0)
+        return a_before_b or b_before_a
+
+    def races(self) -> List[Race]:
+        """All unordered conflicting pairs, in deterministic order."""
+        with self._lock:
+            found: List[Race] = []
+            for name in self._order:
+                entries = sorted(self._accesses.get(name, {}).items())
+                for i, ((task_a, kind_a), (clock_a, op_a)) \
+                        in enumerate(entries):
+                    for (task_b, kind_b), (clock_b, op_b) \
+                            in entries[i + 1:]:
+                        if task_a == task_b:
+                            continue
+                        if kind_a != "w" and kind_b != "w":
+                            continue
+                        if self._ordered(task_a, clock_a,
+                                         task_b, clock_b):
+                            continue
+                        found.append(Race(
+                            obj=name,
+                            owner=self._owners.get(name),
+                            task_a=task_a, access_a=f"{op_a}[{kind_a}]",
+                            task_b=task_b, access_b=f"{op_b}[{kind_b}]",
+                        ))
+            return found
+
+    def render(self) -> str:
+        races = self.races()
+        if not races:
+            return "race sanitizer: no races detected"
+        lines = [f"race sanitizer: {len(races)} race(s) detected"]
+        lines.extend(race.render() for race in races)
+        return "\n".join(lines)

@@ -43,6 +43,7 @@ from ..hardware.logdevice import LogDevice
 from ..hardware.machine import Machine
 from ..hardware.metrics import CounterSet
 from ..hardware.ssd import SimulatedSsd
+from ..sanitizer.core import RaceSanitizer
 from .router import ShardRouter
 
 # stats() keys that are additive across shards; the rest are re-derived
@@ -94,6 +95,16 @@ class ShardedEngine:
                 "shared log topology requires sequential dispatch "
                 "(threaded=False)"
             )
+        if threaded and faults is not None:
+            # The injector's hit counters mutate without a lock and the
+            # crash matrix depends on a deterministic fleet-wide hit
+            # order; both break once shard jobs run concurrently.  (The
+            # shard-isolation lint allowlists closures reading
+            # ``self.faults`` on the strength of this guard.)
+            raise ValueError(
+                "fault injection requires sequential dispatch "
+                "(threaded=False)"
+            )
         self.router = ShardRouter(num_shards)
         self.threaded = threaded
         self.log_topology = log_topology
@@ -105,6 +116,10 @@ class ShardedEngine:
         # ``machine.faults``, which callers typically point at the same
         # injector for fleet-wide hit ordering).
         self.faults = faults
+        # Optional race sanitizer (repro.sanitizer): when attached,
+        # _dispatch declares fork/join happens-before edges around every
+        # threaded scatter and runs each job as a labeled logical task.
+        self._sanitizer: Optional[RaceSanitizer] = None
         self.counters = CounterSet()
         if _shards is not None:
             if len(_shards) != num_shards:
@@ -180,9 +195,25 @@ class ShardedEngine:
         sequential (deterministic test-default) mode.
         """
         if self.threaded and len(jobs) > 1:
+            sanitizer = self._sanitizer
+            labels: List[str] = []
+            if sanitizer is not None:
+                # Logical task labels are positional: jobs are built in
+                # shard order, so label i covers shard i's sub-batch.
+                labels = [f"shard-{index}" for index in range(len(jobs))]
+                for label in labels:
+                    sanitizer.fork(label)
+                jobs = [
+                    sanitizer.bound(label, job)
+                    for label, job in zip(labels, jobs)
+                ]
             with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
                 futures = [pool.submit(job) for job in jobs]
-                return [future.result() for future in futures]
+                results = [future.result() for future in futures]
+            if sanitizer is not None:
+                for label in labels:
+                    sanitizer.join(label)
+            return results
         return [job() for job in jobs]
 
     # --- single-key API -----------------------------------------------
@@ -356,6 +387,26 @@ class ShardedEngine:
             shard.machine.attach_tracer(tracer)
             tracers.append(tracer)
         return tracers
+
+    def attach_sanitizer(self, sanitizer: RaceSanitizer) -> None:
+        """Install a race sanitizer on the fleet and every shard machine.
+
+        Names the objects worth tracking — each shard engine and its
+        recovery log — so instrumented sites (the commit pipeline's ack
+        drains, the threaded dispatch wrapper) report happens-before
+        events on them.  Detach with :meth:`detach_sanitizer`.
+        """
+        self._sanitizer = sanitizer
+        for index, shard in enumerate(self.shards):
+            sanitizer.name_object(shard, f"shard[{index}]")
+            sanitizer.name_object(shard.tc.log, f"shard[{index}].log")
+            shard.machine.sanitizer = sanitizer
+
+    def detach_sanitizer(self) -> None:
+        """Remove the sanitizer; dispatch reverts to untracked."""
+        self._sanitizer = None
+        for shard in self.shards:
+            shard.machine.sanitizer = None
 
     # --- recovery ------------------------------------------------------
 

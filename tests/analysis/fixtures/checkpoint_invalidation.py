@@ -1,0 +1,53 @@
+"""Minimized reproduction of PR 4's checkpoint invalidation (bug #2).
+
+The checkpoint writer appended the replacement image and invalidated
+the previous one before the append had been flushed durable: a crash in
+the window lost *both* checkpoint copies and recovery found no live
+image.  ``BuggyCheckpointWriter`` preserves that ordering;
+``FixedCheckpointWriter`` flushes before invalidating, as shipped.
+"""
+
+
+class SegmentStore:
+    def __init__(self):
+        self.segments = []
+        self.durable = 0
+
+    def append(self, image):
+        self.segments.append(image)
+        return len(self.segments) - 1
+
+    def flush(self):
+        self.durable = len(self.segments)
+
+    def invalidate(self, addr):
+        if addr is not None:
+            self.segments[addr] = None
+
+
+class BuggyCheckpointWriter:
+    """Invalidates the old image before the new one is durable."""
+
+    def __init__(self):
+        self.store = SegmentStore()
+        self.previous = None
+
+    def write_checkpoint(self, image):
+        addr = self.store.append(image)
+        self.store.invalidate(self.previous)
+        self.store.flush()
+        self.previous = addr
+
+
+class FixedCheckpointWriter:
+    """Append, flush durable, only then invalidate — the fix."""
+
+    def __init__(self):
+        self.store = SegmentStore()
+        self.previous = None
+
+    def write_checkpoint(self, image):
+        addr = self.store.append(image)
+        self.store.flush()
+        self.store.invalidate(self.previous)
+        self.previous = addr

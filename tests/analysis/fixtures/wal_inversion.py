@@ -1,0 +1,61 @@
+"""Minimized reproduction of PR 4's WAL inversion (historical bug #1).
+
+The log-structured GC relocated a live committed record by posting the
+moved image to the data component *before* appending the relocation to
+the recovery log: a crash between the two left the DC claiming state
+the WAL could not re-derive.  ``BuggyGcEngine`` preserves that shape;
+``FixedGcEngine`` is the shipped ordering.  The regression corpus
+asserts ``wal-ordering`` flags the former and stays quiet on the
+latter.
+"""
+
+
+class RecoveryLog:
+    def __init__(self):
+        self.records = []
+
+    def append(self, record):
+        self.records.append(record)
+
+
+class PageStore:
+    def __init__(self):
+        self.pages = {}
+
+    def upsert(self, key, value):
+        self.pages[key] = value
+
+    def delete(self, key):
+        self.pages.pop(key, None)
+
+
+class BuggyGcEngine:
+    """DC post first, log append second — the PR-4 inversion."""
+
+    def __init__(self):
+        self.log = RecoveryLog()
+        self.dc = PageStore()
+
+    def relocate(self, key, value):
+        self.dc.upsert(key, value)
+        self.log.append((key, value))
+
+    def drop(self, key):
+        self.dc.delete(key)
+        self.log.append((key, None))
+
+
+class FixedGcEngine:
+    """Log append dominates the DC post on every path — the fix."""
+
+    def __init__(self):
+        self.log = RecoveryLog()
+        self.dc = PageStore()
+
+    def relocate(self, key, value):
+        self.log.append((key, value))
+        self.dc.upsert(key, value)
+
+    def drop(self, key):
+        self.log.append((key, None))
+        self.dc.delete(key)

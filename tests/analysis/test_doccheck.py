@@ -72,3 +72,31 @@ def test_doc_without_any_symbols_is_an_error(tmp_path):
     errors = _checker().check_doc(str(doc))
     assert errors
     assert "no `repro.*` symbol references" in errors[0]
+
+
+def test_analysis_doc_has_no_stale_symbols():
+    doc = REPO_ROOT / "docs" / "ANALYSIS.md"
+    assert _checker().check_doc(str(doc)) == []
+
+
+def test_analysis_doc_is_in_the_default_doc_set():
+    # The doc-check CLI must cover docs/ANALYSIS.md without arguments,
+    # or the rule catalog rots the way ARCHITECTURE.md used to.
+    import argparse
+
+    from repro.analysis import doccheck
+
+    recorded = {}
+    original = argparse.ArgumentParser.parse_args
+
+    def spy(self, argv=None):
+        namespace = original(self, argv)
+        recorded["docs"] = namespace.docs
+        return namespace
+
+    argparse.ArgumentParser.parse_args = spy
+    try:
+        doccheck.main(["--package-root", PACKAGE_ROOT])
+    finally:
+        argparse.ArgumentParser.parse_args = original
+    assert "docs/ANALYSIS.md" in recorded["docs"]

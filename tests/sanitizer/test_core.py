@@ -1,0 +1,130 @@
+"""Unit tests for the vector-clock race sanitizer."""
+
+from repro.sanitizer.core import MAIN_TASK, RaceSanitizer
+
+
+def test_fork_orders_parent_before_child():
+    sanitizer = RaceSanitizer()
+    target = object()
+    sanitizer.name_object(target, "shared")
+    sanitizer.write(target, "init")
+    sanitizer.fork("worker")
+    with sanitizer.task("worker"):
+        sanitizer.write(target, "update")
+    sanitizer.join("worker")
+    assert sanitizer.races() == []
+
+
+def test_join_orders_child_before_later_parent_access():
+    sanitizer = RaceSanitizer()
+    target = object()
+    sanitizer.name_object(target, "shared")
+    sanitizer.fork("worker")
+    with sanitizer.task("worker"):
+        sanitizer.write(target, "update")
+    sanitizer.join("worker")
+    sanitizer.write(target, "drain")
+    assert sanitizer.races() == []
+
+
+def test_unordered_writes_race():
+    sanitizer = RaceSanitizer()
+    target = object()
+    sanitizer.name_object(target, "shared")
+    sanitizer.fork("a")
+    sanitizer.fork("b")
+    with sanitizer.task("a"):
+        sanitizer.write(target, "increment")
+    with sanitizer.task("b"):
+        sanitizer.write(target, "increment")
+    sanitizer.join("a")
+    sanitizer.join("b")
+    races = sanitizer.races()
+    assert len(races) == 1
+    race = races[0]
+    assert race.obj == "shared"
+    assert {race.task_a, race.task_b} == {"a", "b"}
+    assert race.owner == "a"
+
+
+def test_concurrent_read_write_races_but_read_read_does_not():
+    sanitizer = RaceSanitizer()
+    hot = object()
+    cold = object()
+    sanitizer.name_object(hot, "hot")
+    sanitizer.name_object(cold, "cold")
+    sanitizer.fork("a")
+    sanitizer.fork("b")
+    with sanitizer.task("a"):
+        sanitizer.write(hot, "store")
+        sanitizer.read(cold, "load")
+    with sanitizer.task("b"):
+        sanitizer.read(hot, "load")
+        sanitizer.read(cold, "load")
+    sanitizer.join("a")
+    sanitizer.join("b")
+    races = sanitizer.races()
+    assert [race.obj for race in races] == ["hot"]
+
+
+def test_unnamed_objects_are_ignored():
+    sanitizer = RaceSanitizer()
+    sanitizer.fork("a")
+    sanitizer.fork("b")
+    anonymous = object()
+    with sanitizer.task("a"):
+        sanitizer.write(anonymous)
+    with sanitizer.task("b"):
+        sanitizer.write(anonymous)
+    sanitizer.join("a")
+    sanitizer.join("b")
+    assert sanitizer.races() == []
+
+
+def test_string_names_track_without_registration():
+    sanitizer = RaceSanitizer()
+    sanitizer.fork("a")
+    sanitizer.fork("b")
+    with sanitizer.task("a"):
+        sanitizer.write("by-name", "store")
+    with sanitizer.task("b"):
+        sanitizer.write("by-name", "store")
+    sanitizer.join("a")
+    sanitizer.join("b")
+    assert [race.obj for race in sanitizer.races()] == ["by-name"]
+
+
+def test_task_label_restores_previous_label():
+    sanitizer = RaceSanitizer()
+    assert sanitizer.current_task == MAIN_TASK
+    with sanitizer.task("outer"):
+        assert sanitizer.current_task == "outer"
+        with sanitizer.task("inner"):
+            assert sanitizer.current_task == "inner"
+        assert sanitizer.current_task == "outer"
+    assert sanitizer.current_task == MAIN_TASK
+
+
+def test_bound_runs_fn_under_label():
+    sanitizer = RaceSanitizer()
+    seen = []
+    job = sanitizer.bound("worker", lambda: seen.append(
+        sanitizer.current_task))
+    job()
+    assert seen == ["worker"]
+    assert sanitizer.current_task == MAIN_TASK
+
+
+def test_render_formats_clean_and_racy_reports():
+    clean = RaceSanitizer()
+    assert clean.render() == "race sanitizer: no races detected"
+    racy = RaceSanitizer()
+    racy.fork("a")
+    racy.fork("b")
+    with racy.task("a"):
+        racy.write("obj", "store")
+    with racy.task("b"):
+        racy.write("obj", "store")
+    report = racy.render()
+    assert report.startswith("race sanitizer: 1 race(s) detected")
+    assert "RACE on obj" in report
