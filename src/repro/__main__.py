@@ -86,6 +86,10 @@ def main(argv=None) -> int:
         # docs/ARCHITECTURE.md symbol consistency (repro.analysis).
         from .analysis.doccheck import main as doccheck_main
         return doccheck_main(list(argv[1:]))
+    if argv and argv[0] == "tiers":
+        # N-tier breakeven surface sweep (repro.bench.tier_sweep).
+        from .bench.tier_sweep import main as tiers_main
+        return tiers_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -108,7 +112,8 @@ def main(argv=None) -> int:
               "'trace --help'); 'sanitize' runs a threaded-fleet trace "
               "under the race sanitizer (see 'sanitize --help'); "
               "'doc-check' verifies that symbols named in the checked "
-              "docs exist"),
+              "docs exist; 'tiers' renders the N-tier breakeven "
+              "surface (see 'tiers --help')"),
     )
     args = parser.parse_args(argv)
 

@@ -77,6 +77,11 @@ DOMAIN_TOUCH_VERBS = frozenset({
     "append_record",
     "relocate",
     "seal_arena",
+    # N-tier hierarchy: moving a victim down to a cheaper tier and
+    # promoting a far-memory copy back into DRAM are page movement on
+    # the storage path — real copies whose cost must be charged.
+    "demote",
+    "promote",
 })
 
 #: Generic verbs that count as touches only with a store-like receiver.

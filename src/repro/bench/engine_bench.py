@@ -37,6 +37,7 @@ from ..deuteronomy.engine import DeuteronomyEngine
 from ..deuteronomy.tc import TcConfig
 from ..hardware.machine import Machine
 from ..hardware.metrics import Histogram
+from ..hardware.tiers import StorageHierarchy
 from ..sharding import ShardedEngine
 from ..sharding.engine import LOG_TOPOLOGIES
 from ..storage.cache import EvictionPolicy
@@ -49,11 +50,14 @@ from ..workloads.ycsb import (
     shard_balance,
 )
 
-# v5: adds the ``record_cache`` block (record-granularity vs
-# page-granularity caching at equal DRAM on read-hot YCSB-C, latch-free
-# vs latched costing, and the re-derived Figure-3 MM crossover with the
-# record-cache engine standing in for the caching system).
-SCHEMA_VERSION = 5
+# v6: adds the ``tiered`` block (drop-vs-demote eviction on skewed
+# YCSB-B at equal DRAM, $-per-op broken down by tier with far-memory
+# rent priced at the tier's own $/byte).  v5 added the ``record_cache``
+# block (record-granularity vs page-granularity caching at equal DRAM
+# on read-hot YCSB-C, latch-free vs latched costing, and the re-derived
+# Figure-3 MM crossover with the record-cache engine standing in for
+# the caching system).
+SCHEMA_VERSION = 6
 DEFAULT_OUT = "BENCH_engine.json"
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 # YCSB-A 4-shard scaling at the v3 seed (sync commit): the WAL-bound
@@ -67,6 +71,11 @@ ASYNC_SCALING_FLOOR_8 = 3.0
 # least this fraction vs the page-granularity path (measured ~0.37 at
 # the default sizing, ~0.40 at the smoke sizing).
 RECORD_CACHE_FLOOR = 0.20
+# Acceptance ceiling for tiered eviction (schema v6): at equal DRAM on
+# skewed YCSB-B, demote-not-drop must land at no more than this fraction
+# of the drop baseline's $-per-op (measured ~0.63 at the default sizing,
+# ~0.67 at the smoke sizing — the saved SSD I/O dwarfs the CXL rent).
+TIERED_DOLLARS_CEILING = 0.90
 
 MIX_BUILDERS = {
     "a": WorkloadSpec.ycsb_a,   # 50/50 read/update — the group-commit case
@@ -668,6 +677,116 @@ def _run_eviction_comparison(
     }
 
 
+def _run_tiered_variant(
+    demote: bool,
+    spec: WorkloadSpec,
+    op_count: int,
+    cores: int,
+    capacity: int,
+    hierarchy: StorageHierarchy,
+) -> Dict[str, float]:
+    """One tiered-eviction run: same trace, drop or demote on eviction.
+
+    The engine is checkpointed after loading so evicted pages really
+    live on flash; $-per-op follows the ``topologies`` convention
+    (each term is capital $ x busy-seconds per op): execution is
+    ``$P * core_s / (cores * ops)``, every SSD I/O costs ``$I / IOPS``,
+    and DRAM / far-memory residency bill their end-of-run bytes at the
+    respective tier's $/byte over the run's virtual elapsed time.
+    """
+    catalog = CostCatalog()
+    machine = Machine.paper_default(cores=cores)
+    engine = DeuteronomyEngine(
+        machine,
+        tree_config=BwTreeConfig(
+            cache_capacity_bytes=capacity,
+            demote_to_tiers=demote,
+            demote_budget_bytes=4 * capacity if demote else None,
+        ),
+        tc_config=TcConfig(sync_commit=False, read_cache_demote=demote),
+    )
+    generator = WorkloadGenerator(spec)
+    engine.dc.bulk_load(generator.load_items())
+    engine.checkpoint()
+    machine.reset_accounting()
+    for op in generator.operations(op_count):
+        if op.kind is OpKind.READ:
+            engine.get(op.key)
+        else:
+            engine.put(op.key, op.value)
+    stats = engine.stats()
+    elapsed = stats["elapsed_seconds"]
+    ops = op_count
+    far = hierarchy[1]  # the tier demotion parks victims in
+    exec_dollars = (catalog.processor_dollars * stats["core_seconds"]
+                    / (cores * ops)) if ops else 0.0
+    io_dollars = (catalog.ssd_io_dollars * stats["ssd_ios"]
+                  / (catalog.iops * ops)) if ops else 0.0
+    dram_dollars = (catalog.dram_per_byte * stats["dram_bytes"]
+                    * elapsed / ops) if ops else 0.0
+    tier_dollars = (far.dollars_per_byte * stats["tier_resident_bytes"]
+                    * elapsed / ops) if ops else 0.0
+    return {
+        "ops_per_sec": (ops / elapsed) if elapsed else 0.0,
+        "page_cache_hit_rate": stats["page_cache_hit_rate"],
+        "ssd_ios": stats["ssd_ios"],
+        "demotions": (stats["page_cache_demotions"]
+                      + stats["read_cache_demotions"]),
+        "promotions": (stats["page_cache_promotions"]
+                       + stats["read_cache_promotions"]),
+        "tier_resident_bytes": stats["tier_resident_bytes"],
+        "dram_bytes": stats["dram_bytes"],
+        "exec_dollars_per_op": exec_dollars,
+        "io_dollars_per_op": io_dollars,
+        "dram_dollars_per_op": dram_dollars,
+        "tier_dollars_per_op": tier_dollars,
+        "dollars_per_op": (exec_dollars + io_dollars + dram_dollars
+                           + tier_dollars),
+    }
+
+
+def _run_tiered_block(
+    record_count: int,
+    op_count: int,
+    cores: int,
+    value_bytes: int,
+) -> Dict[str, object]:
+    """The schema-v6 ``tiered`` block: drop vs demote at equal DRAM.
+
+    Skewed YCSB-B (95/5 zipfian) on a page cache sized well under the
+    loaded data, so eviction runs constantly.  The ``drop`` variant
+    evicts to flash and re-reads misses from the SSD; the ``demote``
+    variant parks clean victims in the :meth:`~repro.hardware.tiers.
+    StorageHierarchy.cxl_2026` far-memory tier when their observed
+    access rate clears the DRAM/CXL pair breakeven, and promotes on
+    re-access.  Both see the identical generated stream at identical
+    DRAM capacity; ``dollars_ratio`` (demote / drop $-per-op, far-memory
+    rent included) is the acceptance metric behind
+    ``TIERED_DOLLARS_CEILING``.
+    """
+    hierarchy = StorageHierarchy.cxl_2026()
+    spec = WorkloadSpec.ycsb_b(record_count=record_count,
+                               value_bytes=value_bytes)
+    capacity = max(1 << 14, (record_count * value_bytes) // 4)
+    variants = {
+        name: _run_tiered_variant(demote, spec, op_count, cores,
+                                  capacity, hierarchy)
+        for name, demote in (("drop", False), ("demote", True))
+    }
+    drop_dollars = variants["drop"]["dollars_per_op"]
+    return {
+        "workload": "ycsb-b",
+        "cache_capacity_bytes": capacity,
+        "hierarchy": [tier.name for tier in hierarchy],
+        "far_tier": hierarchy[1].name,
+        "far_tier_dollars_per_byte": hierarchy[1].dollars_per_byte,
+        "demote_budget_bytes": 4 * capacity,
+        "variants": variants,
+        "dollars_ratio": (variants["demote"]["dollars_per_op"]
+                          / drop_dollars) if drop_dollars else 0.0,
+    }
+
+
 def _run_trace_overhead(
     record_count: int,
     op_count: int,
@@ -762,6 +881,7 @@ def run_bench(
     threaded_shards: bool = False,
     trace: bool = False,
     record_cache_comparison: bool = True,
+    tiered_comparison: bool = True,
 ) -> Dict[str, object]:
     """Run the benchmark and return the report dict (see module doc).
 
@@ -808,6 +928,9 @@ def run_bench(
             record_count, op_count, cores, value_bytes)
     if eviction_comparison:
         report["eviction"] = _run_eviction_comparison(
+            record_count, op_count, cores, value_bytes)
+    if tiered_comparison:
+        report["tiered"] = _run_tiered_block(
             record_count, op_count, cores, value_bytes)
     if trace:
         report["trace"] = _run_trace_overhead(
@@ -955,6 +1078,31 @@ def render(report: Dict[str, object]) -> str:
                 lines.append(
                     f"  crossover rate shift (after/before): {shift:.2f}x"
                 )
+    tiered = report.get("tiered")
+    if tiered:
+        lines.append("")
+        lines.append(
+            f"tiered eviction ({tiered['workload']}, "
+            f"{tiered['cache_capacity_bytes']}B DRAM cache, far tier "
+            f"{tiered['far_tier']}):"
+        )
+        lines.append(
+            f"  {'variant':<8s} {'page hit':>9s} {'ssd ios':>8s} "
+            f"{'demote':>7s} {'promote':>8s} {'tier B':>8s} {'$/op':>11s}"
+        )
+        for name, entry in tiered["variants"].items():
+            lines.append(
+                f"  {name:<8s} {entry['page_cache_hit_rate']:>9.4f} "
+                f"{entry['ssd_ios']:>8d} {entry['demotions']:>7d} "
+                f"{entry['promotions']:>8d} "
+                f"{entry['tier_resident_bytes']:>8d} "
+                f"{entry['dollars_per_op']:>11.3e}"
+            )
+        lines.append(
+            f"  demote/drop $-per-op ratio: "
+            f"{tiered['dollars_ratio']:.3f} "
+            f"(ceiling {TIERED_DOLLARS_CEILING:.2f})"
+        )
     eviction = report.get("eviction")
     if eviction:
         lines.append(
@@ -1020,6 +1168,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "latch-free record heap at equal cache DRAM "
                              "on tiny ycsb-c; fail if the MM-op core-us "
                              f"drop < {RECORD_CACHE_FLOOR:.0%}")
+    parser.add_argument("--tiered-smoke", action="store_true",
+                        help="CI ceiling check only: drop vs demote "
+                             "eviction at equal DRAM on tiny ycsb-b; "
+                             "fail if the demote/drop $-per-op ratio > "
+                             f"{TIERED_DOLLARS_CEILING}")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT}); "
                              "'-' skips writing")
@@ -1040,6 +1193,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"FAIL: latch-free record heap cut MM-op core-us by only "
                 f"{drop:.1%} vs the page-granularity path "
                 f"(floor {RECORD_CACHE_FLOOR:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.tiered_smoke:
+        block = _run_tiered_block(500, 2000, args.cores, 100)
+        ratio = block["dollars_ratio"]
+        print(
+            f"tiered smoke: ycsb-b demote/drop $-per-op ratio = "
+            f"{ratio:.3f} (ceiling {TIERED_DOLLARS_CEILING})"
+        )
+        if ratio > TIERED_DOLLARS_CEILING:
+            print(
+                f"FAIL: demote-not-drop landed at {ratio:.3f}x the drop "
+                f"baseline's $-per-op "
+                f"(ceiling {TIERED_DOLLARS_CEILING}x)",
                 file=sys.stderr,
             )
             return 1
@@ -1098,6 +1268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         threaded_shards=args.threaded,
         trace=args.trace,
         record_cache_comparison=not args.smoke and args.shards is None,
+        tiered_comparison=not args.smoke and args.shards is None,
     )
     print(render(report))
     if args.out != "-":
@@ -1146,6 +1317,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures.append(
                 f"ycsb-c record-cache MM-op core-us drop {drop:.1%} < "
                 f"{RECORD_CACHE_FLOOR:.0%} floor"
+            )
+    # Demote-not-drop exists to buy back SSD I/O with cheap far memory;
+    # at equal DRAM it must undercut the drop baseline's $-per-op.
+    tiered = report.get("tiered")
+    if tiered is not None:
+        ratio = tiered["dollars_ratio"]
+        if ratio > TIERED_DOLLARS_CEILING:
+            failures.append(
+                f"ycsb-b demote/drop $-per-op ratio {ratio:.3f} > "
+                f"{TIERED_DOLLARS_CEILING} ceiling"
             )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

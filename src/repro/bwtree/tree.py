@@ -64,6 +64,11 @@ class BwTreeConfig:
     ti_seconds: float = 45.0
     record_cache: bool = False
     segment_bytes: int = 1 << 20
+    # Demote-not-drop eviction: park victims in the middle tiers of the
+    # cxl_2026 hierarchy instead of dropping, when their observed access
+    # rate clears the per-tier-pair breakeven (Equation 6, N-tier form).
+    demote_to_tiers: bool = False
+    demote_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_page_bytes < 256:
@@ -112,6 +117,8 @@ class BwTree:
             ti_seconds=self.config.ti_seconds,
             record_cache=self.config.record_cache,
             max_flash_fragments=self.config.max_flash_fragments,
+            demote_to_tiers=self.config.demote_to_tiers,
+            demote_budget_bytes=self.config.demote_budget_bytes,
         )
         self.checkpoints = CheckpointManager(self.store, self.mapping_table)
         self.gc = GarbageCollector(machine, self.store, self.mapping_table,

@@ -16,14 +16,17 @@ from .adaptive import (
 )
 from .breakeven import (
     BreakevenReport,
+    TierPairBreakeven,
     breakeven_interval_seconds,
     breakeven_rate_ops_per_sec,
     breakeven_report,
     classic_gray_interval_seconds,
     crossover_rate,
+    hierarchy_breakeven_surface,
     iops_price_sweep,
     page_size_sweep,
     record_cache_breakeven_seconds,
+    tier_pair_breakeven,
 )
 from .calibration import (
     MeasuredRun,
@@ -80,6 +83,7 @@ from .technology import (
 from .tiers import (
     CacheSizingAdvisor,
     CacheSizingResult,
+    NTierAdvisor,
     Tier,
     TierAdvisor,
     TierBoundaries,
@@ -107,6 +111,10 @@ __all__ = [
     "record_cache_breakeven_seconds",
     "page_size_sweep",
     "iops_price_sweep",
+    "TierPairBreakeven",
+    "tier_pair_breakeven",
+    "hierarchy_breakeven_surface",
+    "NTierAdvisor",
     "MainMemoryComparison",
     "paper_comparison",
     "Tier",

@@ -14,11 +14,12 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .breakeven import breakeven_rate_ops_per_sec
+from ..hardware.tiers import StorageHierarchy, TierSpec
+from .breakeven import breakeven_rate_ops_per_sec, tier_pair_breakeven
 from .catalog import CostCatalog
-from .costmodel import CssParameters, OperationCostModel
+from .costmodel import CssParameters, OperationCost, OperationCostModel
 
 
 class Tier(enum.Enum):
@@ -132,21 +133,24 @@ class CacheSizingAdvisor:
     def size_for(self, page_rates: Sequence[float]) -> CacheSizingResult:
         """Pick the cheapest tier per page and total it up.
 
-        ``page_rates`` are accesses/second per page (any order).
+        ``page_rates`` are accesses/second per page (any order).  Tier
+        selection and costing come from the *same*
+        :meth:`~repro.core.costmodel.OperationCostModel.cheapest` call,
+        so they cannot disagree: the old per-tier ``if``/``elif`` could
+        price a page with ``css_cost`` even under ``include_css=False``
+        whenever a hand-constructed advisor's selection drifted from the
+        model's argmin (pinned by a regression test).
         """
         tiers: List[Tier] = []
         total = 0.0
         cached = 0
         for rate in page_rates:
-            tier = self.advisor.tier_for_rate(rate)
+            winner = self.model.cheapest(rate, include_css=self.include_css)
+            tier = Tier(winner.kind)
             tiers.append(tier)
             if tier is Tier.MM:
                 cached += 1
-                total += self.model.mm_cost(rate).total
-            elif tier is Tier.SS:
-                total += self.model.ss_cost(rate).total
-            else:
-                total += self.model.css_cost(rate).total
+            total += winner.total
         return CacheSizingResult(
             cached_pages=cached,
             cache_bytes=cached * self.catalog.page_bytes,
@@ -161,3 +165,85 @@ class CacheSizingAdvisor:
     def cost_if_none_cached(self, page_rates: Sequence[float]) -> float:
         """The "no cache" alternative: every access is an SS operation."""
         return sum(self.model.ss_cost(rate).total for rate in page_rates)
+
+
+class NTierAdvisor:
+    """Cheapest tier of an N-tier hierarchy at a per-page access rate.
+
+    The N-tier generalization of :class:`TierAdvisor`: every tier's cost
+    is a line in the access rate —
+
+        cost(tier, N) = Ps * (tier $/byte + home rent)
+                        + N * ($Io/IOPS + R_tier * $P/ROPS)
+
+    where the home rent applies to every tier *except* the durable home
+    itself (inclusive caching: the durable copy is paid for regardless
+    of where the page is also cached).  Selection is the argmin over
+    those lines — one code path for choosing *and* pricing, the same
+    discipline :meth:`CacheSizingAdvisor.size_for` follows — which makes
+    ``tier_for_rate`` automatically monotone in rate (slopes increase
+    down the stack, so the winning line can only move up-stack as the
+    rate grows; pinned by a hypothesis property).  The boundary rates
+    agree with :func:`repro.core.breakeven.tier_pair_breakeven` at every
+    adjacent pair.
+    """
+
+    def __init__(self, hierarchy: Optional[StorageHierarchy] = None,
+                 catalog: Optional[CostCatalog] = None) -> None:
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else StorageHierarchy.modern_2026())
+        self.catalog = catalog if catalog is not None else CostCatalog()
+
+    def cost(self, tier: TierSpec, rate_ops_per_sec: float) -> OperationCost:
+        """The (storage, execution) cost line for one tier at one rate."""
+        if rate_ops_per_sec < 0:
+            raise ValueError("access rate cannot be negative")
+        cat = self.catalog
+        home = self.hierarchy.home
+        rent = tier.dollars_per_byte + (
+            0.0 if tier.durable_home else home.dollars_per_byte
+        )
+        per_access = (tier.io_dollars / tier.iops
+                      + tier.cpu_path_r * cat.processor_dollars / cat.rops)
+        return OperationCost(
+            kind=tier.name,
+            rate_ops_per_sec=rate_ops_per_sec,
+            storage_cost=rent * cat.page_bytes,
+            execution_cost=rate_ops_per_sec * per_access,
+        )
+
+    def costs_at(self, rate_ops_per_sec: float) -> Dict[str, float]:
+        """Total modeled cost per tier name at one rate."""
+        return {
+            tier.name: self.cost(tier, rate_ops_per_sec).total
+            for tier in self.hierarchy
+        }
+
+    def tier_for_rate(self, rate_ops_per_sec: float) -> TierSpec:
+        """The cost-minimizing tier; ties go to the faster tier."""
+        best: Optional[TierSpec] = None
+        best_cost = math.inf
+        for tier in self.hierarchy:
+            total = self.cost(tier, rate_ops_per_sec).total
+            if total < best_cost:
+                best = tier
+                best_cost = total
+        assert best is not None   # hierarchy has >= 2 tiers
+        return best
+
+    def tier_for_interval(self, seconds_between_accesses: float) -> TierSpec:
+        if seconds_between_accesses <= 0:
+            raise ValueError("access interval must be positive")
+        return self.tier_for_rate(1.0 / seconds_between_accesses)
+
+    def boundaries(self) -> List[Tuple[TierSpec, TierSpec, float]]:
+        """(upper, lower, breakeven rate) at every adjacent boundary.
+
+        Rates decrease down the stack for any valid hierarchy, which is
+        what makes the per-pair thresholds equivalent to the argmin.
+        """
+        out: List[Tuple[TierSpec, TierSpec, float]] = []
+        for upper, lower in self.hierarchy.pairs():
+            interval = tier_pair_breakeven(upper, lower, self.catalog)
+            out.append((upper, lower, 1.0 / interval))
+        return out

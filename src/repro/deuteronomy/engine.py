@@ -255,6 +255,14 @@ class DeuteronomyEngine:
             "page_cache_touches": page_cache.stats.touches,
             "page_cache_fetches": page_cache.stats.fetches,
             "page_cache_hit_rate": page_cache.hit_rate(),
+            "page_cache_demotions": page_cache.stats.demotions,
+            "page_cache_promotions": page_cache.stats.promotions,
+            "read_cache_demotions": read_cache.demotions,
+            "read_cache_promotions": read_cache.promotions,
+            "tier_resident_bytes": (
+                (page_cache.tiers.resident_bytes
+                 if page_cache.tiers is not None else 0)
+                + read_cache.tier_resident_bytes),
             "log_flushes": self.tc.log.flushes,
             "log_batch_appends": self.tc.log.batch_appends,
             "log_device_writes": (

@@ -62,6 +62,11 @@ class TcConfig:
     log_buffer_bytes: int = 1 << 20
     log_retain_budget_bytes: Optional[int] = 8 << 20
     read_cache_bytes: int = 4 << 20
+    # Demote-not-drop for the read cache's FIFO victims: park evicted
+    # records in a far-memory victim tier (promote-on-hit back) instead
+    # of dropping them.
+    read_cache_demote: bool = False
+    read_cache_demote_budget_bytes: Optional[int] = None
     version_gc_horizon_lag: int = 1024   # truncate versions this far back
     # Force the log to flash at every commit: durable commits at the cost
     # of small log writes (group commit would amortize them; the default
@@ -132,7 +137,11 @@ class TransactionComponent:
                 commit_interval_us=self.config.commit_interval_us,
                 epoch_bytes=self.config.commit_epoch_bytes,
             )
-        self.read_cache = ReadCache(machine, self.config.read_cache_bytes)
+        self.read_cache = ReadCache(
+            machine, self.config.read_cache_bytes,
+            demote_to_tiers=self.config.read_cache_demote,
+            demote_budget_bytes=self.config.read_cache_demote_budget_bytes,
+        )
         # Record-cache v2: when enabled, the record heap supersedes the
         # FIFO read cache on the read path and absorbs blind writes
         # (pages are built lazily, at drain/checkpoint time).

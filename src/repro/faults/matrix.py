@@ -84,7 +84,9 @@ class MatrixConfig:
     cores: int = 2
     max_hits_per_site: int = 6
     segment_bytes: int = 1 << 13
-    cache_capacity_bytes: int = 20 << 10
+    # Small enough that even the tiny test traces overflow DRAM and
+    # evict, so the demote-not-drop path (and its fault sites) runs.
+    cache_capacity_bytes: int = 5 << 10
     log_buffer_bytes: int = 2 << 10
     # Record-cache v2 sizing, deliberately tiny so the matrix traces
     # exercise arena seals and GC relocations (the two record_cache.*
@@ -92,6 +94,10 @@ class MatrixConfig:
     record_arena_bytes: int = 1 << 10
     record_cache_bytes: int = 4 << 10
     record_dirty_flush_bytes: int = 1 << 10
+    # Demote-not-drop is on so the tiered-eviction fault sites
+    # (cache.demote / tier.promote) are reachable; the budget is small
+    # enough that the far-memory tier itself churns under the trace.
+    demote_budget_bytes: int = 8 << 10
     scenarios: Tuple[str, ...] = SCENARIOS
 
     @classmethod
@@ -227,6 +233,8 @@ def _tree_config(config: MatrixConfig) -> BwTreeConfig:
     return BwTreeConfig(
         segment_bytes=config.segment_bytes,
         cache_capacity_bytes=config.cache_capacity_bytes,
+        demote_to_tiers=True,
+        demote_budget_bytes=config.demote_budget_bytes,
     )
 
 

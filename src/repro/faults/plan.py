@@ -160,6 +160,20 @@ def _registry() -> Dict[str, FaultSite]:
             "inside ShardedEngine scatter/gather, between per-shard "
             "sub-batches — earlier shards committed, later ones did not",
         ),
+        FaultSite(
+            "cache.demote",
+            "inside TierCache.demote / ReadCache demotion, after the "
+            "victim tier is chosen but before the copy is parked — the "
+            "victim's durable images are already on flash, only the "
+            "volatile far-memory copy is lost",
+        ),
+        FaultSite(
+            "tier.promote",
+            "inside TierCache.promote / ReadCache promotion, after a "
+            "current far-memory copy is found but before it is "
+            "reinstalled — recovery must rebuild the page from its "
+            "flash chain alone",
+        ),
     ]
     return {site.name: site for site in sites}
 

@@ -19,6 +19,7 @@ from .logdevice import LogDevice
 from .machine import Machine, RunSummary
 from .metrics import CounterSet, Histogram
 from .ssd import SimulatedSsd, SsdFullError, SsdSpec
+from .tiers import StorageHierarchy, TierSpec
 
 __all__ = [
     "VirtualClock",
@@ -36,4 +37,6 @@ __all__ = [
     "SimulatedSsd",
     "SsdSpec",
     "SsdFullError",
+    "StorageHierarchy",
+    "TierSpec",
 ]

@@ -40,7 +40,9 @@ _REGISTRY_ADDITIVE_KEYS = (
     "operations", "core_seconds", "ssd_ios", "dram_bytes",
     "tc_dram_bytes", "commits", "aborts", "reads", "dc_reads",
     "read_cache_hits", "read_cache_misses", "page_cache_touches",
-    "page_cache_fetches", "log_flushes", "log_batch_appends",
+    "page_cache_fetches", "page_cache_demotions",
+    "page_cache_promotions", "read_cache_demotions",
+    "read_cache_promotions", "log_flushes", "log_batch_appends",
     "log_device_writes", "log_device_bytes", "commit_epochs",
     "commit_wait_us", "commit_futures_resolved",
 )

@@ -71,6 +71,7 @@ COMPONENT_OF_CATEGORY: Dict[str, str] = {
     "io_path": "io_path",
     "io_retry": "io_path",
     "router": "router",
+    "tier_cache": "tier_cache",
     "commit_pipeline": "commit_pipeline",
     "compression": "compression",
     "lsm": "lsm",
@@ -91,6 +92,7 @@ SPAN_NAMES = frozenset({
     "commit_pipeline.epoch_flush", "commit_pipeline.commit_wait",
     "bwtree.get", "bwtree.upsert", "bwtree.delete", "bwtree.blind_batch",
     "page_cache.fetch",
+    "tier_cache.demote", "tier_cache.promote",
     "log_store.read", "log_store.flush",
     "shard.batch",
 })

@@ -54,7 +54,9 @@ _ADDITIVE_STAT_KEYS = (
     "dc_reads", "read_cache_hits", "read_cache_misses",
     "record_cache_hits", "record_cache_misses",
     "record_cache_gc_relocations", "record_heap_bytes",
-    "page_cache_touches", "page_cache_fetches", "log_flushes",
+    "page_cache_touches", "page_cache_fetches", "page_cache_demotions",
+    "page_cache_promotions", "read_cache_demotions",
+    "read_cache_promotions", "tier_resident_bytes", "log_flushes",
     "log_batch_appends", "log_device_writes", "log_device_bytes",
     "commit_epochs", "commit_wait_us", "commit_futures_resolved",
 )

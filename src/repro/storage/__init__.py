@@ -7,7 +7,7 @@ or breakeven-interval eviction (and an optional record cache), and cleaned
 by a :class:`GarbageCollector`.
 """
 
-from .cache import CacheStats, EvictionPolicy, PageCache
+from .cache import CacheStats, EvictionPolicy, PageCache, TierCache
 from .checkpoint import CheckpointImage, CheckpointManager
 from .gc import GarbageCollector, GcStats
 from .log_store import LogStructuredStore, ReadResult, SegmentInfo
@@ -30,6 +30,7 @@ __all__ = [
     "CacheStats",
     "EvictionPolicy",
     "PageCache",
+    "TierCache",
     "CheckpointImage",
     "CheckpointManager",
     "GarbageCollector",

@@ -25,6 +25,19 @@ resident state, its resident delta list contains *every* delta since the
 last full image; flushed delta images on flash are an oldest-suffix of that
 list.  Fetching a page with resident deltas therefore only needs the base
 (full) image — one I/O.
+
+**Demote-not-drop** (the N-tier generalization): with ``demote_to_tiers``
+the cache stops treating eviction as binary.  A victim whose observed
+access rate clears the breakeven of a middle tier of a
+:class:`~repro.hardware.tiers.StorageHierarchy` (CXL-class far memory in
+the default ``cxl_2026`` stack) *moves* there instead of being dropped:
+its page state is parked in a :class:`TierCache` keyed by a snapshot of
+the flash chain, and a later fetch that finds a current copy promotes it
+back into DRAM with **zero device I/Os** — paying only the far-memory
+copy CPU (CXL is load/store; the transfer is CPU path, not an I/O
+device).  A stale copy (the flash chain moved underneath it: flushes, GC
+relocation, blind updates) is discarded and the fetch falls through to
+the normal flash path, so correctness never depends on the victim tier.
 """
 
 from __future__ import annotations
@@ -32,11 +45,12 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..hardware.machine import Machine
+from ..hardware.tiers import StorageHierarchy, TierSpec
 from .log_store import LogStructuredStore
-from .mapping_table import MappingTable, PageEntry
+from .mapping_table import FlashAddr, MappingTable, PageEntry
 from .pages import DataPageState, PageImage
 
 DRAM_TAG = "page_cache"
@@ -62,6 +76,185 @@ class CacheStats:
     flushes_full: int = 0
     flushes_delta: int = 0
     bytes_flushed: int = 0
+    demotions: int = 0           # victims parked in a middle tier
+    promotions: int = 0          # fetches served from a middle tier
+    tier_drops: int = 0          # tier-budget FIFO overflow drops
+    stale_tier_copies: int = 0   # copies discarded on chain mismatch
+
+
+@dataclass(slots=True)
+class _DemotedPage:
+    """One page parked in a middle tier: state plus its validity proof."""
+
+    state: DataPageState
+    chain: Tuple[FlashAddr, ...]   # flash chain snapshot at demote time
+    nbytes: int
+
+
+class TierCache:
+    """Victim store over the middle tiers of a storage hierarchy.
+
+    Holds evicted page states "in" each tier strictly between DRAM and
+    the durable home, with per-tier byte budgets and FIFO overflow.  A
+    parked copy is valid only while the page's flash chain is unchanged
+    (same addresses, same order) and the mapping-table entry has no
+    resident state of its own; anything else — a flush, a GC
+    relocation, a blind update — invalidates it, and :meth:`promote`
+    discards rather than serves it.  Bytes here are *not* DRAM: the
+    tier cache keeps its own accounting, and the bench prices it at the
+    tier's $/byte instead of the catalog's DRAM rent.
+    """
+
+    def __init__(self, machine: Machine,
+                 hierarchy: Optional[StorageHierarchy] = None,
+                 budget_bytes: Optional[int] = None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError("tier budget must be positive when given")
+        # Lazy import: repro.core's package init builds the calibration
+        # stack on top of bwtree, which imports this module — a cycle at
+        # import time, gone by the time any cache is constructed.
+        from ..core.breakeven import tier_pair_breakeven
+        self.machine = machine
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else StorageHierarchy.cxl_2026())
+        middles = self.hierarchy.tiers[1:-1]
+        if not middles:
+            raise ValueError(
+                "demotion needs at least one tier between the top tier "
+                "and the durable home"
+            )
+        self.budget_bytes = budget_bytes
+        # Each middle tier keeps victims whose observed access interval
+        # is within the breakeven of the boundary *below* it: past that
+        # interval the tier's rent costs more than re-reading from the
+        # next tier down.
+        tiers = self.hierarchy.tiers
+        self._levels: List[Tuple[TierSpec, float]] = [
+            (tier, tier_pair_breakeven(tier, tiers[index + 2]))
+            for index, tier in enumerate(middles)
+        ]
+        self._parked: Dict[str, "OrderedDict[int, _DemotedPage]"] = {
+            tier.name: OrderedDict() for tier, __ in self._levels
+        }
+        self._bytes: Dict[str, int] = {
+            tier.name: 0 for tier, __ in self._levels
+        }
+        self.stats: Optional[CacheStats] = None   # shared by the owner
+
+    def target_tier(self, interval_seconds: float) -> Optional[TierSpec]:
+        """Cheapest middle tier whose breakeven the interval clears.
+
+        ``None`` means even the cheapest middle tier's rent loses to a
+        re-read from the durable home — plain drop is optimal.
+        """
+        for tier, breakeven_seconds in self._levels:
+            if interval_seconds <= breakeven_seconds:
+                return tier
+        return None
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+    def parked_pages(self, tier_name: Optional[str] = None) -> int:
+        if tier_name is not None:
+            return len(self._parked[tier_name])
+        return sum(len(parked) for parked in self._parked.values())
+
+    def holds(self, page_id: int) -> bool:
+        return any(page_id in parked for parked in self._parked.values())
+
+    def demote(self, entry: PageEntry, state: DataPageState,
+               interval_seconds: float) -> Optional[TierSpec]:
+        """Park a victim's state in the tier its access rate earns.
+
+        Returns the tier, or ``None`` when the rate clears no middle
+        tier's breakeven (the caller drops the page as before).  The
+        caller still owns ``entry``; only ``state`` moves.
+        """
+        tier = self.target_tier(interval_seconds)
+        if tier is None:
+            return None
+        faults = self.machine.faults
+        if faults is not None:
+            faults.hit("cache.demote")
+        with self.machine.trace_span("tier_cache.demote", "tier_cache"):
+            nbytes = state.resident_size_bytes
+            # The far-memory transfer is CPU path (load/store tiers have
+            # no I/O device), priced like any other page-sized copy.
+            self.machine.cpu.charge(
+                "copy_per_byte", nbytes, category="tier_cache"
+            )
+            parked = self._parked[tier.name]
+            stale = parked.pop(entry.page_id, None)
+            if stale is not None:
+                self._bytes[tier.name] -= stale.nbytes
+            parked[entry.page_id] = _DemotedPage(
+                state=state, chain=tuple(entry.flash_chain), nbytes=nbytes
+            )
+            self._bytes[tier.name] += nbytes
+            if self.stats is not None:
+                self.stats.demotions += 1
+            self._enforce_budget(tier.name, protect=entry.page_id)
+        return tier
+
+    def _enforce_budget(self, tier_name: str, protect: int) -> None:
+        if self.budget_bytes is None:
+            return
+        parked = self._parked[tier_name]
+        while self._bytes[tier_name] > self.budget_bytes and parked:
+            victim_id = next(iter(parked))
+            if victim_id == protect and len(parked) == 1:
+                break
+            if victim_id == protect:
+                parked.move_to_end(victim_id)
+                continue
+            dropped = parked.pop(victim_id)
+            self._bytes[tier_name] -= dropped.nbytes
+            if self.stats is not None:
+                self.stats.tier_drops += 1
+
+    def promote(self, entry: PageEntry) -> Optional[DataPageState]:
+        """Hand back a parked copy if it is still current, else discard.
+
+        A copy is served only when the entry has no resident state of
+        its own (no blind deltas posted since the demote) and the flash
+        chain is bit-identical to the demote-time snapshot.
+        """
+        for tier, __ in self._levels:
+            parked = self._parked[tier.name]
+            copy = parked.pop(entry.page_id, None)
+            if copy is None:
+                continue
+            self._bytes[tier.name] -= copy.nbytes
+            if (entry.state is not None
+                    or copy.chain != tuple(entry.flash_chain)):
+                if self.stats is not None:
+                    self.stats.stale_tier_copies += 1
+                return None
+            faults = self.machine.faults
+            if faults is not None:
+                faults.hit("tier.promote")
+            with self.machine.trace_span(
+                    "tier_cache.promote", "tier_cache"):
+                self.machine.cpu.charge(
+                    "copy_per_byte", copy.nbytes, category="tier_cache"
+                )
+                if self.stats is not None:
+                    self.stats.promotions += 1
+            return copy.state
+        return None
+
+    def discard(self, page_id: int) -> None:
+        """Drop any parked copy of a page (it was freed or superseded)."""
+        for parked_name, parked in self._parked.items():
+            copy = parked.pop(page_id, None)
+            if copy is not None:
+                self._bytes[parked_name] -= copy.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        held = {name: len(parked) for name, parked in self._parked.items()}
+        return f"TierCache({held}, bytes={self.resident_bytes})"
 
 
 class PageCache:
@@ -78,6 +271,9 @@ class PageCache:
         record_cache: bool = False,
         record_cache_budget_bytes: Optional[int] = None,
         max_flash_fragments: int = 4,
+        demote_to_tiers: bool = False,
+        demote_hierarchy: Optional[StorageHierarchy] = None,
+        demote_budget_bytes: Optional[int] = None,
     ) -> None:
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError("cache capacity must be positive when given")
@@ -91,6 +287,13 @@ class PageCache:
         self.record_cache_budget_bytes = record_cache_budget_bytes
         self.max_flash_fragments = max_flash_fragments
         self.stats = CacheStats()
+        self.tiers: Optional[TierCache] = None
+        if demote_to_tiers:
+            self.tiers = TierCache(
+                machine, hierarchy=demote_hierarchy,
+                budget_bytes=demote_budget_bytes,
+            )
+            self.tiers.stats = self.stats
         self._vclock = machine.clock
         # LRU order over resident pages: page id -> accounted bytes.
         self._resident: "OrderedDict[int, int]" = OrderedDict()
@@ -157,6 +360,8 @@ class PageCache:
         """Stop tracking a page without flushing (the page is being freed)."""
         if entry.page_id not in self._resident:
             raise KeyError(f"page {entry.page_id} is not tracked")
+        if self.tiers is not None:
+            self.tiers.discard(entry.page_id)
         self._untrack(entry)
 
     @property
@@ -250,9 +455,26 @@ class PageCache:
             self.resize(entry)
             self.stats.record_cache_retained += 1
         else:
+            if (self.tiers is not None and state.base_present
+                    and not state.has_unflushed_changes):
+                # Demote-not-drop: park the flushed state in the middle
+                # tier (if any) whose breakeven the page's observed mean
+                # inter-access interval clears.  entry.state is cleared
+                # either way; the parked copy is only served while the
+                # flash chain stays bit-identical.
+                self.tiers.demote(
+                    entry, state, self._observed_interval(entry)
+                )
             entry.state = None
             self._untrack(entry)
         self.stats.evictions += 1
+
+    def _observed_interval(self, entry: PageEntry) -> float:
+        """Mean virtual seconds between accesses over the page's life."""
+        now = self._vclock.now
+        if entry.access_count <= 0 or now <= 0.0:
+            return float("inf")
+        return now / entry.access_count
 
     def _drop_delta_only(self, entry: PageEntry) -> None:
         """Fully drop a page whose base is already evicted.
@@ -386,6 +608,21 @@ class PageCache:
         ios = 0
         if entry.state is not None and entry.state.base_present:
             return 0
+        if self.tiers is not None:
+            promoted = self.tiers.promote(entry)
+            if promoted is not None:
+                # The page was parked in a middle tier and the copy is
+                # still current: reinstall it with zero device I/Os —
+                # the read is served from whichever tier holds the page.
+                entry.state = promoted
+                self.machine.cpu.charge("page_install", category="cache")
+                if entry.page_id in self._resident:
+                    self.resize(entry)
+                    self.touch(entry)
+                else:
+                    self.register(entry)
+                self.stats.fetches += 1
+                return 0
         if not entry.flash_chain:
             raise ValueError(
                 f"page {entry.page_id} has no flash images to fetch"

@@ -140,6 +140,44 @@ class Store:
         assert len(findings) == 1
         assert "Store.flush" in findings[0].message
 
+    DEMOTE_POSITIVE = """\
+class Cache:
+    def __init__(self, machine, tiers):
+        self.machine = machine
+        self.tiers = tiers
+
+    def push_out(self, entry, state):
+        self.tiers.demote(entry, state, 1.0)
+        return None
+
+    def bring_back(self, entry):
+        copy = self.tiers.promote(entry)
+        return copy
+"""
+
+    @pytest.mark.parametrize("method", ["Cache.push_out", "Cache.bring_back"])
+    def test_uncharged_demote_and_promote_are_flagged(self, tmp_path,
+                                                      method):
+        # Tier demotion/promotion moves page bytes between tiers: it is
+        # domain work even on an unknown receiver, so an uncharged path
+        # through either verb is a finding.
+        findings = _lint_snippet(tmp_path, self.DEMOTE_POSITIVE, self.RULE)
+        assert method in {finding.message.split()[0]
+                          for finding in findings} \
+            or any(method in finding.message for finding in findings)
+
+    def test_charged_demote_and_promote_are_clean(self, tmp_path):
+        clean = self.DEMOTE_POSITIVE.replace(
+            "        self.tiers.demote(entry, state, 1.0)\n",
+            "        self.machine.cpu.charge(\"copy_per_byte\", 64)\n"
+            "        self.tiers.demote(entry, state, 1.0)\n",
+        ).replace(
+            "        copy = self.tiers.promote(entry)\n",
+            "        self.machine.cpu.charge(\"copy_per_byte\", 64)\n"
+            "        copy = self.tiers.promote(entry)\n",
+        )
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
 
 # ---------------------------------------------------------------------------
 # determinism

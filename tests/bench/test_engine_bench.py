@@ -18,7 +18,8 @@ class TestRunBench:
     def test_report_shape_and_speedup(self):
         report = run_bench(mixes=["a"], record_count=300, op_count=600,
                            batch_size=32, eviction_comparison=False,
-                           record_cache_comparison=False)
+                           record_cache_comparison=False,
+                           tiered_comparison=False)
         assert report["schema_version"] == SCHEMA_VERSION
         mix = report["mixes"]["ycsb-a"]
         assert PATH_KEYS <= set(mix["per_op"])
@@ -37,7 +38,8 @@ class TestRunBench:
     def test_eviction_comparison_parity(self):
         report = run_bench(mixes=[], record_count=800, op_count=1500,
                            eviction_comparison=True,
-                           record_cache_comparison=False)
+                           record_cache_comparison=False,
+                           tiered_comparison=False)
         eviction = report["eviction"]
         assert abs(eviction["clock_hit_rate"]
                    - eviction["lru_hit_rate"]) <= 0.02
@@ -45,7 +47,8 @@ class TestRunBench:
     def test_render_is_textual(self):
         report = run_bench(mixes=["c"], record_count=200, op_count=300,
                            eviction_comparison=False,
-                           record_cache_comparison=False)
+                           record_cache_comparison=False,
+                           tiered_comparison=False)
         text = render(report)
         assert "ycsb-c" in text
         assert "speedup" in text
@@ -72,7 +75,8 @@ class TestShardedSweep:
         report = run_bench(mixes=["a"], record_count=300, op_count=600,
                            batch_size=32, eviction_comparison=False,
                            record_cache_comparison=False,
-                           shard_counts=(1, 2), per_path_comparison=False)
+                           shard_counts=(1, 2), per_path_comparison=False,
+                           tiered_comparison=False)
         assert report["mixes"] == {}
         assert report["config"]["shard_counts"] == [1, 2]
         curve = report["sharded"]["ycsb-a"]
@@ -90,14 +94,16 @@ class TestShardedSweep:
     def test_empty_shard_counts_disable_sweep(self):
         report = run_bench(mixes=["c"], record_count=200, op_count=300,
                            eviction_comparison=False, shard_counts=(),
-                           record_cache_comparison=False)
+                           record_cache_comparison=False,
+                           tiered_comparison=False)
         assert report["sharded"] == {}
 
     def test_render_includes_sharded_table(self):
         report = run_bench(mixes=["c"], record_count=200, op_count=300,
                            eviction_comparison=False, shard_counts=(1, 2),
                            per_path_comparison=False,
-                           record_cache_comparison=False)
+                           record_cache_comparison=False,
+                           tiered_comparison=False)
         text = render(report)
         assert "sharded" in text
         assert "scaling" in text
@@ -167,7 +173,8 @@ class TestRecordCacheBlock:
     def test_render_includes_record_cache_section(self):
         report = run_bench(mixes=[], record_count=300, op_count=400,
                            eviction_comparison=False, shard_counts=(),
-                           record_cache_comparison=True)
+                           record_cache_comparison=True,
+                           tiered_comparison=False)
         text = render(report)
         assert "record cache v2" in text
         assert "figure-3" in text
@@ -206,3 +213,64 @@ class TestCli:
         assert report["sharded"]["ycsb-a"]["2"]["shards"] == 2
         captured = capsys.readouterr()
         assert "sharded" in captured.out
+
+
+class TestTieredBlock:
+    """Schema-v6 drop-vs-demote comparison over the CXL hierarchy."""
+
+    VARIANT_KEYS = {
+        "ops_per_sec", "page_cache_hit_rate", "ssd_ios", "demotions",
+        "promotions", "tier_resident_bytes", "dram_bytes",
+        "exec_dollars_per_op", "io_dollars_per_op", "dram_dollars_per_op",
+        "tier_dollars_per_op", "dollars_per_op",
+    }
+
+    def test_block_shape_and_dollar_ceiling(self):
+        from repro.bench.engine_bench import (
+            TIERED_DOLLARS_CEILING,
+            _run_tiered_block,
+        )
+        block = _run_tiered_block(500, 2000, cores=4, value_bytes=100)
+        assert block["workload"] == "ycsb-b"
+        assert set(block["variants"]) == {"drop", "demote"}
+        for variant in block["variants"].values():
+            assert self.VARIANT_KEYS <= set(variant)
+        assert block["far_tier"] == "cxl-far-memory"
+        assert block["hierarchy"] == ["dram", "cxl-far-memory", "nvme-ssd"]
+        drop = block["variants"]["drop"]
+        demote = block["variants"]["demote"]
+        # The drop variant never touches the victim tier.
+        assert drop["demotions"] == 0
+        assert drop["tier_resident_bytes"] == 0
+        assert drop["tier_dollars_per_op"] == 0.0
+        # Demote-not-drop actually runs and pays far-memory rent.
+        assert demote["demotions"] > 0
+        assert demote["promotions"] > 0
+        assert demote["tier_dollars_per_op"] > 0.0
+        # Promotions replace device reads on the skewed mix.
+        assert demote["ssd_ios"] < drop["ssd_ios"]
+        # The acceptance metric: demote wins on $-per-op with rent billed.
+        assert block["dollars_ratio"] <= TIERED_DOLLARS_CEILING
+
+    def test_run_bench_attaches_tiered_block(self):
+        report = run_bench(mixes=[], record_count=300, op_count=600,
+                           eviction_comparison=False, shard_counts=(),
+                           record_cache_comparison=False,
+                           tiered_comparison=True)
+        assert "tiered" in report
+        assert report["tiered"]["workload"] == "ycsb-b"
+
+    def test_render_includes_tiered_table(self):
+        report = run_bench(mixes=[], record_count=300, op_count=600,
+                           eviction_comparison=False, shard_counts=(),
+                           record_cache_comparison=False,
+                           tiered_comparison=True)
+        text = render(report)
+        assert "tiered eviction" in text
+        assert "demote" in text and "drop" in text
+
+    def test_tiered_smoke_flag(self, capsys):
+        rc = cli_main(["bench-engine", "--tiered-smoke"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "tiered smoke" in captured.out

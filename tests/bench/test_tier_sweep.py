@@ -1,0 +1,55 @@
+"""``python -m repro tiers``: the N-tier breakeven surface CLI."""
+
+from repro.__main__ import main as cli_main
+from repro.bench.tier_sweep import PRESETS, render_surface, smoke_check
+from repro.core import CostCatalog, breakeven_interval_seconds
+
+
+class TestRenderSurface:
+    def test_render_is_deterministic(self):
+        assert render_surface() == render_surface()
+
+    def test_covers_every_preset(self):
+        out = render_surface()
+        for preset in PRESETS:
+            assert f"[{preset}]" in out
+
+    def test_paper_row_prints_equation_6_interval(self):
+        eq6 = breakeven_interval_seconds(CostCatalog())
+        assert f"{eq6:.3f}" in render_surface()
+
+    def test_modern_sweep_names_top_and_bottom_tiers(self):
+        out = render_surface()
+        assert "dram" in out
+        assert "object-store" in out
+        assert "cxl-far-memory" in out
+
+    def test_surface_has_at_least_three_tier_pairs(self):
+        # cxl-2026 contributes 2 boundaries and modern-2026 three more:
+        # the "deterministic surface over >= 3 tier pairs" acceptance bar.
+        out = render_surface()
+        assert out.count(" / ") >= 3
+
+
+class TestSmokeCheck:
+    def test_invariants_hold(self):
+        assert smoke_check() == []
+
+    def test_detects_catalog_preset_drift(self):
+        # The paper-2018 preset bakes in the paper's R; a catalog whose R
+        # disagrees breaks the exact Equation (6) reduction and the check
+        # must say so rather than silently passing.
+        failures = smoke_check(CostCatalog().with_r(2.0))
+        assert any("Equation (6)" in failure for failure in failures)
+
+
+class TestCli:
+    def test_tiers_renders(self, capsys):
+        assert cli_main(["tiers"]) == 0
+        out = capsys.readouterr().out
+        assert "N-tier breakeven surface" in out
+
+    def test_tiers_smoke_passes(self, capsys):
+        assert cli_main(["tiers", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: OK" in out

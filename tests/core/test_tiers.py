@@ -8,10 +8,17 @@ from repro.core import (
     CacheSizingAdvisor,
     CostCatalog,
     CssParameters,
+    NTierAdvisor,
     Tier,
     TierAdvisor,
     breakeven_rate_ops_per_sec,
+    tier_pair_breakeven,
 )
+from repro.hardware import StorageHierarchy
+
+#: Colder tiers must never win at higher rates: the ordering the
+#: monotonicity properties below assert against.
+TIER_RANK = {Tier.MM: 0, Tier.SS: 1, Tier.CSS: 2}
 
 
 @pytest.fixture
@@ -78,6 +85,16 @@ class TestTierAdvisor:
         }
         assert costs[tier] == pytest.approx(min(costs.values()))
 
+    @settings(max_examples=100, deadline=None)
+    @given(low=st.floats(1e-9, 1e4), high=st.floats(1e-9, 1e4))
+    def test_tier_for_rate_monotone_property(self, low, high):
+        """A hotter page never lands on a colder tier."""
+        if low > high:
+            low, high = high, low
+        advisor = TierAdvisor(CostCatalog(), CssParameters(0.5, 9.0))
+        assert TIER_RANK[advisor.tier_for_rate(high)] \
+            <= TIER_RANK[advisor.tier_for_rate(low)]
+
 
 class TestCacheSizing:
     def test_threshold_policy(self):
@@ -132,3 +149,106 @@ class TestCacheSizing:
         sized = advisor.size_for(rates).total_cost
         assert sized <= advisor.cost_if_all_cached(rates) * (1 + 1e-12)
         assert sized <= advisor.cost_if_none_cached(rates) * (1 + 1e-12)
+
+    def test_size_for_without_css_never_prices_css(self):
+        """The bug this pins: selection and costing share one code path.
+
+        The old ``if``/``elif`` in ``size_for`` could still reach the
+        CSS costing branch under ``include_css=False``.  Every page's
+        tier and price must now come from the same ``cheapest`` call.
+        """
+        advisor = CacheSizingAdvisor(include_css=False)
+        breakeven = breakeven_rate_ops_per_sec(advisor.catalog)
+        rates = [breakeven * factor
+                 for factor in (100, 3, 1.0, 0.3, 1e-3, 1e-6, 1e-9)]
+        result = advisor.size_for(rates)
+        assert Tier.CSS not in result.tier_of_page
+        expected = sum(
+            advisor.model.cheapest(rate, include_css=False).total
+            for rate in rates
+        )
+        assert result.total_cost == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(rates=st.lists(st.floats(1e-9, 1e4), min_size=1, max_size=30))
+    def test_size_for_matches_cheapest_property(self, rates):
+        """Tier selection agrees with the model's argmin, CSS on or off."""
+        for include_css in (False, True):
+            advisor = CacheSizingAdvisor(
+                css=CssParameters(0.5, 9.0), include_css=include_css)
+            result = advisor.size_for(rates)
+            for rate, tier in zip(rates, result.tier_of_page):
+                winner = advisor.model.cheapest(
+                    rate, include_css=include_css)
+                assert tier is Tier(winner.kind)
+
+
+class TestNTierAdvisor:
+    @pytest.fixture
+    def advisor(self) -> NTierAdvisor:
+        return NTierAdvisor(StorageHierarchy.modern_2026())
+
+    def test_default_hierarchy_is_modern(self):
+        assert len(NTierAdvisor().hierarchy) == 4
+
+    def test_hot_page_goes_to_dram(self, advisor):
+        assert advisor.tier_for_rate(100.0).name == "dram"
+
+    def test_glacial_page_goes_to_object_store(self, advisor):
+        assert advisor.tier_for_rate(1e-9).name == "object-store"
+
+    def test_interval_form_and_validation(self, advisor):
+        assert advisor.tier_for_interval(0.001).name == "dram"
+        with pytest.raises(ValueError):
+            advisor.tier_for_interval(0)
+        with pytest.raises(ValueError):
+            advisor.cost(advisor.hierarchy.top, -1.0)
+
+    def test_costs_at_covers_every_tier(self, advisor):
+        costs = advisor.costs_at(1.0)
+        assert set(costs) == {t.name for t in advisor.hierarchy}
+        assert all(value > 0 for value in costs.values())
+
+    def test_boundaries_agree_with_tier_pair_breakeven(self, advisor):
+        for upper, lower, rate in advisor.boundaries():
+            assert rate == pytest.approx(1.0 / tier_pair_breakeven(
+                upper, lower, advisor.catalog))
+
+    def test_boundary_rates_decrease_down_the_stack(self, advisor):
+        rates = [rate for __, __, rate in advisor.boundaries()]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_selection_flips_exactly_at_each_boundary(self, advisor):
+        """Just above a boundary rate the upper tier wins; just below,
+        the lower — the argmin and the pair breakevens are the same
+        policy."""
+        for upper, lower, rate in advisor.boundaries():
+            assert advisor.tier_for_rate(rate * 1.01) is upper
+            assert advisor.tier_for_rate(rate * 0.99) is lower
+
+    @settings(max_examples=100, deadline=None)
+    @given(low=st.floats(1e-10, 1e5), high=st.floats(1e-10, 1e5))
+    def test_tier_for_rate_monotone_property(self, low, high):
+        """Hotter pages move strictly up-stack (or stay put)."""
+        if low > high:
+            low, high = high, low
+        advisor = NTierAdvisor(StorageHierarchy.modern_2026())
+        order = [tier.name for tier in advisor.hierarchy]
+        assert order.index(advisor.tier_for_rate(high).name) \
+            <= order.index(advisor.tier_for_rate(low).name)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rate=st.floats(1e-10, 1e5))
+    def test_tier_for_rate_is_argmin_property(self, rate):
+        advisor = NTierAdvisor(StorageHierarchy.modern_2026())
+        costs = advisor.costs_at(rate)
+        winner = advisor.tier_for_rate(rate)
+        assert costs[winner.name] == min(costs.values())
+
+    def test_two_tier_advisor_matches_equation_6(self):
+        """Over the paper's own hierarchy the N-tier argmin flips at
+        exactly the Equation (6) rate."""
+        advisor = NTierAdvisor(StorageHierarchy.paper_2018())
+        breakeven = breakeven_rate_ops_per_sec(advisor.catalog)
+        assert advisor.tier_for_rate(breakeven * 1.01).name == "dram"
+        assert advisor.tier_for_rate(breakeven * 0.99).name == "nvme-ssd"

@@ -93,3 +93,68 @@ def test_over_budget_insert_is_rejected(cache, machine):
     assert not cache.lookup(b"huge")[0]
     # DRAM never saw the over-sized entry.
     assert machine.dram.bytes_for("tc_read_cache") == cache.resident_bytes
+
+
+class TestDemoteToTiers:
+    """FIFO victims park in the far-memory tier instead of dropping."""
+
+    @pytest.fixture
+    def tiered(self, machine: Machine) -> ReadCache:
+        # ~3 entries of (1-byte key + 64-byte value + 24 overhead) fit.
+        return ReadCache(machine, budget_bytes=280, demote_to_tiers=True)
+
+    def test_overflow_demotes_not_drops(self, tiered):
+        for index in range(5):
+            tiered.insert(bytes([index]), b"v" * 64)
+        assert tiered.evicted_records > 0
+        assert tiered.demotions == tiered.evicted_records
+        assert tiered.tier_resident_bytes > 0
+
+    def test_tier_bytes_are_not_dram(self, tiered, machine):
+        for index in range(5):
+            tiered.insert(bytes([index]), b"v" * 64)
+        assert machine.dram.bytes_for("tc_read_cache") \
+            == tiered.resident_bytes
+        assert tiered.tier_resident_bytes > 0
+
+    def test_tier_hit_promotes(self, tiered):
+        for index in range(5):
+            tiered.insert(bytes([index]), b"v" * 64)
+        victim = bytes([0])          # FIFO: first in, first demoted
+        hit, value = tiered.lookup(victim)
+        assert hit and value == b"v" * 64
+        assert tiered.promotions == 1
+        # Promoted back into DRAM: the next probe hits without a tier trip.
+        promotions_before = tiered.promotions
+        hit, __ = tiered.lookup(victim)
+        assert hit
+        assert tiered.promotions == promotions_before
+
+    def test_invalidate_drops_both_copies(self, tiered):
+        for index in range(5):
+            tiered.insert(bytes([index]), b"v" * 64)
+        victim = bytes([0])
+        tiered.invalidate(victim)
+        hit, value = tiered.lookup(victim)
+        assert not hit and value is None
+        assert tiered.promotions == 0
+
+    def test_demote_budget_fifo_drops(self, machine):
+        cache = ReadCache(machine, budget_bytes=280, demote_to_tiers=True,
+                          demote_budget_bytes=100)
+        for index in range(8):
+            cache.insert(bytes([index]), b"v" * 64)
+        assert cache.tier_drops > 0
+        assert cache.tier_resident_bytes <= 100
+
+    def test_demote_budget_validation(self, machine):
+        with pytest.raises(ValueError):
+            ReadCache(machine, budget_bytes=280, demote_to_tiers=True,
+                      demote_budget_bytes=0)
+
+    def test_plain_cache_never_parks(self, cache):
+        for index in range(50):
+            cache.insert(bytes([index]) * 4, b"v" * 100)
+        assert cache.evicted_records > 0
+        assert cache.demotions == 0
+        assert cache.tier_resident_bytes == 0

@@ -206,7 +206,8 @@ class TestSpanNames:
         components = {name.split(".", 1)[0] for name in SPAN_NAMES}
         assert components == {
             "engine", "tc", "record_cache", "recovery_log",
-            "commit_pipeline", "bwtree", "page_cache", "log_store", "shard",
+            "commit_pipeline", "bwtree", "page_cache", "tier_cache",
+            "log_store", "shard",
         }
 
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.hardware import Machine
+from repro.core import tier_pair_breakeven
+from repro.hardware import Machine, StorageHierarchy
 from repro.storage import (
     DataPageState,
     DeltaKind,
@@ -10,6 +11,7 @@ from repro.storage import (
     LogStructuredStore,
     MappingTable,
     PageCache,
+    PageImage,
     Record,
     RecordDelta,
 )
@@ -274,3 +276,148 @@ class TestTiPolicy:
         assert evicted == 1
         assert old.state is None
         assert fresh.state is not None
+
+
+class TestDemoteNotDrop:
+    """Eviction demotes flushed victims into middle tiers, fetch promotes."""
+
+    def make_tiered(self, machine, **cache_kwargs):
+        table = MappingTable()
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        cache = PageCache(machine, table, store, demote_to_tiers=True,
+                          **cache_kwargs)
+        return table, store, cache
+
+    def warm_page(self, machine, table, cache, key=b"a"):
+        """A registered, flushed page with a finite observed interval."""
+        entry = make_page(table, cache, [Record(key, b"v" * 64)])
+        cache.flush_page(entry)
+        machine.clock.advance(10.0)
+        cache.touch(entry)
+        return entry
+
+    def test_middle_tiers_required(self, machine):
+        table = MappingTable()
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        with pytest.raises(ValueError, match="between"):
+            PageCache(machine, table, store, demote_to_tiers=True,
+                      demote_hierarchy=StorageHierarchy.paper_2018())
+
+    def test_target_tier_thresholds(self, machine):
+        table, __, cache = self.make_tiered(machine)
+        tiers = cache.tiers
+        cxl = tiers.hierarchy.get("cxl-far-memory")
+        home = tiers.hierarchy.home
+        breakeven = tier_pair_breakeven(cxl, home)
+        assert tiers.target_tier(breakeven * 0.5) is cxl
+        assert tiers.target_tier(breakeven) is cxl
+        assert tiers.target_tier(breakeven * 1.01) is None
+        assert tiers.target_tier(float("inf")) is None
+
+    def test_evict_demotes_instead_of_dropping(self, machine):
+        table, __, cache = self.make_tiered(machine)
+        entry = self.warm_page(machine, table, cache)
+        dram_before = machine.dram.bytes_for("page_cache")
+        assert dram_before > 0
+        cache.evict(entry)
+        assert entry.state is None
+        assert machine.dram.bytes_for("page_cache") == 0
+        assert cache.stats.demotions == 1
+        assert cache.tiers.holds(entry.page_id)
+        assert cache.tiers.resident_bytes > 0
+        assert cache.tiers.parked_pages("cxl-far-memory") == 1
+
+    def test_cold_victim_still_drops(self, machine):
+        """Past the tier breakeven even far memory's rent loses."""
+        table, __, cache = self.make_tiered(machine)
+        entry = make_page(table, cache, [Record(b"a", b"v" * 64)])
+        cache.flush_page(entry)
+        machine.clock.advance(1e7)
+        cache.evict(entry)
+        assert cache.stats.demotions == 0
+        assert not cache.tiers.holds(entry.page_id)
+
+    def test_fetch_promotes_with_zero_ios(self, machine):
+        table, __, cache = self.make_tiered(machine)
+        entry = self.warm_page(machine, table, cache)
+        records = list(entry.state.base)
+        cache.evict(entry)
+        ios = cache.fetch(entry)
+        assert ios == 0
+        assert cache.stats.promotions == 1
+        assert list(entry.state.base) == records
+        assert not cache.tiers.holds(entry.page_id)
+        assert cache.is_tracked(entry.page_id)
+        assert machine.dram.bytes_for("page_cache") == entry.resident_bytes
+
+    def test_blind_update_invalidates_parked_copy(self, machine):
+        """A delta posted after the demote makes the copy stale: it is
+        discarded, never merged, and the fetch pays real I/Os."""
+        table, store, cache = self.make_tiered(machine)
+        entry = self.warm_page(machine, table, cache)
+        cache.evict(entry)
+        store.flush()
+        state = DataPageState(entry.page_id, base=None)
+        state.base_flushed = True
+        state.prepend_delta(up(b"a", b"new"))
+        entry.state = state
+        cache.register(entry)
+        ios = cache.fetch(entry)
+        assert ios >= 1
+        assert cache.stats.stale_tier_copies == 1
+        assert cache.stats.promotions == 0
+        assert entry.state.lookup(b"a").value == b"new"
+
+    def test_chain_change_invalidates_parked_copy(self, machine):
+        """A GC-style relocation of the flash chain voids the snapshot."""
+        table, store, cache = self.make_tiered(machine)
+        entry = self.warm_page(machine, table, cache)
+        cache.evict(entry)
+        relocated = store.append(
+            PageImage("full", entry.page_id,
+                      records=(Record(b"a", b"moved"),))
+        )
+        entry.flash_chain = [relocated]
+        store.flush()
+        ios = cache.fetch(entry)
+        assert ios >= 1
+        assert cache.stats.stale_tier_copies == 1
+        assert entry.state.lookup(b"a").value == b"moved"
+
+    def test_tier_budget_fifo_overflow(self, machine):
+        table, __, cache = self.make_tiered(
+            machine, demote_budget_bytes=150)
+        first = self.warm_page(machine, table, cache, key=b"a")
+        second = self.warm_page(machine, table, cache, key=b"b")
+        cache.evict(first)
+        cache.evict(second)
+        assert cache.stats.demotions == 2
+        assert cache.stats.tier_drops == 1
+        assert not cache.tiers.holds(first.page_id)
+        assert cache.tiers.holds(second.page_id)
+        assert cache.tiers.resident_bytes <= 150
+
+    def test_discard_drops_parked_copy(self, machine):
+        table, store, cache = self.make_tiered(machine)
+        entry = self.warm_page(machine, table, cache)
+        cache.evict(entry)
+        store.flush()
+        cache.tiers.discard(entry.page_id)
+        assert not cache.tiers.holds(entry.page_id)
+        assert cache.tiers.resident_bytes == 0
+        ios = cache.fetch(entry)
+        assert ios >= 1
+
+    def test_nonpositive_budget_rejected(self, machine):
+        table = MappingTable()
+        store = LogStructuredStore(machine, segment_bytes=1 << 14)
+        with pytest.raises(ValueError, match="budget"):
+            PageCache(machine, table, store, demote_to_tiers=True,
+                      demote_budget_bytes=0)
+
+    def test_demote_charges_tier_copy_cpu(self, machine):
+        table, __, cache = self.make_tiered(machine)
+        entry = self.warm_page(machine, table, cache)
+        before = machine.cpu.counters.get("cpu_us.tier_cache")
+        cache.evict(entry)
+        assert machine.cpu.counters.get("cpu_us.tier_cache") > before
