@@ -2,12 +2,14 @@
 
 Runs any of the paper's experiments by id (see DESIGN.md Section 4) and
 prints the rendered rows/series.  ``python -m repro all`` runs everything;
-``python -m repro list`` shows what is available.
+``python -m repro list`` shows the experiments; running with no
+arguments (or ``--help``) prints the full subcommand overview.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 from typing import Callable, Dict, Tuple
 
@@ -58,64 +60,91 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
 
 FAST = ("f2", "f8", "t2", "a4", "a6", "a7", "a8")
 
+#: Every subcommand, its implementing module (whose ``main(argv)`` it
+#: dispatches to, imported lazily) and a one-line description.  The
+#: ``--help`` / no-args overview enumerates exactly this table, and a
+#: CLI test pins that every entry appears there.
+SUBCOMMANDS: Dict[str, Tuple[str, str]] = {
+    "bench-engine": (
+        "repro.bench.engine_bench",
+        "engine throughput benchmark; writes BENCH_engine.json",
+    ),
+    "lint": (
+        "repro.analysis.cli",
+        "domain static-analysis checks (cost accounting, determinism, ...)",
+    ),
+    "crash-matrix": (
+        "repro.faults.matrix",
+        "deterministic fault-injection recovery matrix",
+    ),
+    "trace": (
+        "repro.observability.trace_cli",
+        "seeded replay with bit-exact cost-attribution tracing",
+    ),
+    "whatif": (
+        "repro.observability.whatif",
+        "virtual causal profiler: predicted + validated component speedups",
+    ),
+    "sanitize": (
+        "repro.sanitizer.cli",
+        "threaded-fleet trace under the deterministic race sanitizer",
+    ),
+    "doc-check": (
+        "repro.analysis.doccheck",
+        "verify backticked repro.* symbols in the docs resolve",
+    ),
+    "tiers": (
+        "repro.bench.tier_sweep",
+        "N-tier storage-hierarchy breakeven surface sweep",
+    ),
+}
+
+
+def _overview_epilog() -> str:
+    """The subcommand/experiment listing shown by --help and no-args."""
+    lines = ["subcommands (each takes --help):"]
+    for name, (__, description) in SUBCOMMANDS.items():
+        lines.append(f"  {name:<13s} {description}")
+    lines.append("")
+    lines.append("experiments (run by id):")
+    for key, (description, __) in EXPERIMENTS.items():
+        lines.append(f"  {key:<13s} {description}")
+    lines.append("")
+    lines.append("  fast          the quick analytic subset "
+                 f"({' '.join(FAST)})")
+    lines.append("  all           every experiment")
+    lines.append("  list          print the experiment table and exit")
+    return "\n".join(lines)
+
 
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "bench-engine":
-        # Throughput benchmark subcommand with its own option parser.
-        from .bench.engine_bench import main as bench_engine_main
-        return bench_engine_main(list(argv[1:]))
-    if argv and argv[0] == "lint":
-        # Domain static analysis subcommand (repro.analysis).
-        from .analysis.cli import main as lint_main
-        return lint_main(list(argv[1:]))
-    if argv and argv[0] == "crash-matrix":
-        # Deterministic fault-injection crash matrix (repro.faults).
-        from .faults.matrix import main as crash_matrix_main
-        return crash_matrix_main(list(argv[1:]))
-    if argv and argv[0] == "trace":
-        # Cost-attribution tracing replay (repro.observability).
-        from .observability.trace_cli import main as trace_main
-        return trace_main(list(argv[1:]))
-    if argv and argv[0] == "sanitize":
-        # Deterministic vector-clock race sanitizer (repro.sanitizer).
-        from .sanitizer.cli import main as sanitize_main
-        return sanitize_main(list(argv[1:]))
-    if argv and argv[0] == "doc-check":
-        # docs/ARCHITECTURE.md symbol consistency (repro.analysis).
-        from .analysis.doccheck import main as doccheck_main
-        return doccheck_main(list(argv[1:]))
-    if argv and argv[0] == "tiers":
-        # N-tier breakeven surface sweep (repro.bench.tier_sweep).
-        from .bench.tier_sweep import main as tiers_main
-        return tiers_main(list(argv[1:]))
+    if argv and argv[0] in SUBCOMMANDS:
+        module_name, __ = SUBCOMMANDS[argv[0]]
+        module = importlib.import_module(module_name)
+        return int(module.main(list(argv[1:])))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
             "Regenerate experiments from Lomet, 'Cost/Performance in "
             "Modern Data Stores' (DaMoN'18/ICDE'19)."
         ),
+        epilog=_overview_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "experiments", nargs="*", default=["fast"],
-        help=("experiment ids (f1 f2 f3 f7 f8 t1-t4 a1-a8), 'fast' for "
-              "the analytic subset, 'all' for everything, or 'list'; "
-              "'bench-engine' runs the throughput benchmark, including "
-              "the sharded scatter/gather sweep "
-              "(see 'bench-engine --help', '--shards N' for a "
-              "sharded-only run); 'lint' runs the domain static "
-              "checks (see 'lint --help'); 'crash-matrix' runs the "
-              "deterministic fault-injection recovery matrix "
-              "(see 'crash-matrix --help'); 'trace' replays a seeded "
-              "workload with cost-attribution tracing (see "
-              "'trace --help'); 'sanitize' runs a threaded-fleet trace "
-              "under the race sanitizer (see 'sanitize --help'); "
-              "'doc-check' verifies that symbols named in the checked "
-              "docs exist; 'tiers' renders the N-tier breakeven "
-              "surface (see 'tiers --help')"),
+        "experiments", nargs="*",
+        help="experiment ids, 'fast', 'all', 'list', or a subcommand "
+             "(see below)",
     )
     args = parser.parse_args(argv)
+    if not args.experiments:
+        # No arguments: show the full overview rather than silently
+        # running anything — the subcommands are the discoverable
+        # surface.
+        parser.print_help()
+        return 0
 
     requested = []
     for name in args.experiments:
@@ -132,7 +161,8 @@ def main(argv=None) -> int:
             requested.append(lowered)
         else:
             parser.error(
-                f"unknown experiment {name!r}; try 'list'"
+                f"unknown experiment {name!r}; try 'list' (subcommands "
+                f"must come first: {' '.join(SUBCOMMANDS)})"
             )
 
     from .bench.wallclock import WallTimer

@@ -201,9 +201,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "docs", nargs="*",
-        default=["docs/ARCHITECTURE.md", "docs/ANALYSIS.md"],
-        help="markdown files to check (default: docs/ARCHITECTURE.md "
-             "and docs/ANALYSIS.md)",
+        default=["docs/ARCHITECTURE.md", "docs/ANALYSIS.md",
+                 "docs/PROFILING.md"],
+        help="markdown files to check (default: docs/ARCHITECTURE.md, "
+             "docs/ANALYSIS.md and docs/PROFILING.md)",
     )
     parser.add_argument(
         "--package-root", default=None,

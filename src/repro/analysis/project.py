@@ -82,6 +82,11 @@ DOMAIN_TOUCH_VERBS = frozenset({
     # the storage path — real copies whose cost must be charged.
     "demote",
     "promote",
+    # What-if causal profiling: installing per-category charge scaling
+    # re-prices every subsequent hot-path charge — a storage-path
+    # method that scales costs without charging any is mis-accounting
+    # the very stream the profiler folds.
+    "scale_costs",
 })
 
 #: Generic verbs that count as touches only with a store-like receiver.

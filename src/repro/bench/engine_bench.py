@@ -50,14 +50,18 @@ from ..workloads.ycsb import (
     shard_balance,
 )
 
-# v6: adds the ``tiered`` block (drop-vs-demote eviction on skewed
-# YCSB-B at equal DRAM, $-per-op broken down by tier with far-memory
-# rent priced at the tier's own $/byte).  v5 added the ``record_cache``
-# block (record-granularity vs page-granularity caching at equal DRAM
-# on read-hot YCSB-C, latch-free vs latched costing, and the re-derived
-# Figure-3 MM crossover with the record-cache engine standing in for
-# the caching system).
-SCHEMA_VERSION = 6
+# v7: adds the ``whatif`` block (the causal profiler's ranked
+# "top causal bottlenecks" per tracked workload — YCSB A/B/C at 1
+# shard, 1-vs-8-shard and sync-vs-async ycsb-a — each scenario swept
+# at 2x with the winner's prediction validated by an actual re-run;
+# see docs/PROFILING.md).  v6 added the ``tiered`` block
+# (drop-vs-demote eviction on skewed YCSB-B at equal DRAM, $-per-op
+# broken down by tier with far-memory rent priced at the tier's own
+# $/byte).  v5 added the ``record_cache`` block (record-granularity vs
+# page-granularity caching at equal DRAM on read-hot YCSB-C, latch-free
+# vs latched costing, and the re-derived Figure-3 MM crossover with the
+# record-cache engine standing in for the caching system).
+SCHEMA_VERSION = 7
 DEFAULT_OUT = "BENCH_engine.json"
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 # YCSB-A 4-shard scaling at the v3 seed (sync commit): the WAL-bound
@@ -867,6 +871,66 @@ def _run_trace_overhead(
     }
 
 
+#: The speedup factor the tracked whatif sweeps use.
+WHATIF_SPEEDUP = 2.0
+
+
+def _run_whatif_block(
+    record_count: int,
+    op_count: int,
+    batch_size: int,
+    cores: int,
+) -> Dict[str, object]:
+    """Causal-profiler sweeps per tracked workload (schema v7 ``whatif``
+    block; methodology in docs/PROFILING.md).
+
+    For each scenario the what-if engine records the baseline charge
+    stream once, predicts every component's 2x-speedup effect on
+    Eq. (4)-(5) $-per-op by folding that stream, ranks the predictions,
+    and validates the winner with an actual scaled re-run — so every
+    BENCH update names the next component worth optimizing, with the
+    prediction-vs-actual agreement errors recorded under the scenario's
+    contract (bit-exact where linear, bounded where shared-log-device
+    queueing is not).
+    """
+    from ..observability.whatif import WhatifConfig, run_whatif
+
+    scenario_configs = [
+        ("ycsb-a/1shard/sync", WhatifConfig(
+            mix="a", record_count=record_count, op_count=op_count,
+            shards=1, batch_size=batch_size, cores=cores)),
+        ("ycsb-b/1shard/sync", WhatifConfig(
+            mix="b", record_count=record_count, op_count=op_count,
+            shards=1, batch_size=batch_size, cores=cores)),
+        ("ycsb-c/1shard/sync", WhatifConfig(
+            mix="c", record_count=record_count, op_count=op_count,
+            shards=1, batch_size=batch_size, cores=cores)),
+        ("ycsb-a/8shard/sync", WhatifConfig(
+            mix="a", record_count=record_count, op_count=op_count,
+            shards=8, batch_size=batch_size, cores=cores)),
+        ("ycsb-a/8shard/async-shared-log", WhatifConfig(
+            mix="a", record_count=record_count, op_count=op_count,
+            shards=8, batch_size=batch_size, cores=cores,
+            commit="async", log_topology="shared")),
+    ]
+    scenarios: Dict[str, object] = {}
+    for label, config in scenario_configs:
+        result = run_whatif(config, speedup=WHATIF_SPEEDUP,
+                            validate="top")
+        top = result["components"][0]
+        validation = result["validated"][0]
+        scenarios[label] = {
+            "config": result["config"],
+            "baseline": result["baseline"],
+            "top_bottleneck": top["component"],
+            "top_savings_pct": top["savings_pct"],
+            "top_ops_per_sec_gain_pct": top["ops_per_sec_gain_pct"],
+            "ranking": result["components"],
+            "validated": validation,
+        }
+    return {"speedup": WHATIF_SPEEDUP, "scenarios": scenarios}
+
+
 def run_bench(
     mixes: Iterable[str] = ("a", "b", "c"),
     record_count: int = 4000,
@@ -882,6 +946,7 @@ def run_bench(
     trace: bool = False,
     record_cache_comparison: bool = True,
     tiered_comparison: bool = True,
+    whatif_comparison: bool = True,
 ) -> Dict[str, object]:
     """Run the benchmark and return the report dict (see module doc).
 
@@ -932,6 +997,9 @@ def run_bench(
     if tiered_comparison:
         report["tiered"] = _run_tiered_block(
             record_count, op_count, cores, value_bytes)
+    if whatif_comparison:
+        report["whatif"] = _run_whatif_block(
+            record_count, op_count, batch_size, cores)
     if trace:
         report["trace"] = _run_trace_overhead(
             record_count, op_count, batch_size, cores, value_bytes,
@@ -1111,6 +1179,28 @@ def render(report: Dict[str, object]) -> str:
             f"LRU hit {eviction['lru_hit_rate']:.4f} vs "
             f"CLOCK hit {eviction['clock_hit_rate']:.4f}"
         )
+    whatif = report.get("whatif")
+    if whatif:
+        lines.append("")
+        lines.append(
+            f"what-if causal bottlenecks (speedup "
+            f"{whatif['speedup']:.0f}x, winner validated):"
+        )
+        lines.append(
+            f"{'scenario':32s} {'top bottleneck':16s} "
+            f"{'saved $/op %':>12s} {'ops/s gain':>10s} {'contract':>11s} "
+            f"{'rel err':>10s}"
+        )
+        for label, scenario in whatif["scenarios"].items():
+            validated = scenario["validated"]
+            rel_err = validated["agreement"]["dollars_rel_err"]
+            lines.append(
+                f"{label:32s} {scenario['top_bottleneck']:16s} "
+                f"{scenario['top_savings_pct']:11.2f}% "
+                f"{scenario['top_ops_per_sec_gain_pct']:9.2f}% "
+                f"{validated['contract']:>11s} "
+                f"{rel_err:10.3e}"
+            )
     trace = report.get("trace")
     if trace:
         lines.append("")
@@ -1269,6 +1359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace=args.trace,
         record_cache_comparison=not args.smoke and args.shards is None,
         tiered_comparison=not args.smoke and args.shards is None,
+        whatif_comparison=not args.smoke and args.shards is None,
     )
     print(render(report))
     if args.out != "-":

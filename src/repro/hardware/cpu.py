@@ -20,7 +20,7 @@ Calibration targets (DESIGN.md Section 5):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace, fields
-from typing import Protocol
+from typing import Dict, Mapping, Optional, Protocol
 
 from .clock import VirtualClock
 from .metrics import CounterSet
@@ -151,6 +151,40 @@ class CpuModel:
         # Optional per-charge observer (a tracer); ``None`` keeps the hot
         # path at one attribute check per charge.
         self.sink: ChargeSink | None = None
+        # Optional what-if scaling: category -> factor applied to the
+        # *final* charge amount (see :meth:`scale_costs`).  ``None`` keeps
+        # the hot path at one attribute check per charge.
+        self._scale: Optional[Dict[str, float]] = None
+
+    def scale_costs(self, factors: Optional[Mapping[str, float]]) -> None:
+        """Install per-category what-if charge scaling (``None`` clears).
+
+        Every subsequent :meth:`charge_us` whose ``category`` appears in
+        ``factors`` has its amount multiplied by the factor *before* it
+        reaches any accounting — the busy scalar, the per-category
+        counters, the :class:`ChargeSink` and the clock advance all see
+        the same scaled value, so the bit-exact reconciliation contract
+        of :mod:`repro.observability.spans` survives scaling unchanged.
+
+        The factor deliberately applies to the charged amount rather
+        than the :class:`CostTable` unit prices: scaling the final
+        amount makes an actual scaled run compute ``(unit * count) *
+        factor`` — the *same* float expression a causal-profiler
+        prediction folds over a recorded charge stream — whereas
+        pre-scaling the table would compute ``(unit * factor) * count``,
+        which differs in the last ULPs.  Exactness of the what-if
+        contract (:mod:`repro.observability.whatif`) rests on this.
+        """
+        if factors is None:
+            self._scale = None
+            return
+        for category, factor in factors.items():
+            if factor <= 0.0:
+                raise ValueError(
+                    f"scale factor for {category!r} must be positive, "
+                    f"got {factor}"
+                )
+        self._scale = dict(factors)
 
     @property
     def busy_us(self) -> float:
@@ -166,6 +200,11 @@ class CpuModel:
         """Charge ``microseconds`` of single-core work to ``category``."""
         if microseconds < 0.0:
             raise ValueError(f"cannot charge negative work: {microseconds}")
+        scale = self._scale
+        if scale is not None:
+            factor = scale.get(category)
+            if factor is not None:
+                microseconds = microseconds * factor
         self._busy_us += microseconds
         self.counters.add(f"cpu_us.{category}", microseconds)
         sink = self.sink

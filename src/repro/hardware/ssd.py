@@ -56,6 +56,29 @@ class SsdSpec:
         flash_dollars = self.flash_price_per_byte * self.capacity_bytes
         return max(0.0, self.price_dollars - flash_dollars)
 
+    def scaled(self, factor: float) -> "SsdSpec":
+        """A uniformly ``factor``-times-faster device at the same price.
+
+        IOPS capacity and bandwidth multiply by ``factor``; per-access
+        latencies divide by it; capacity and prices are untouched.  Each
+        access's busy term ``max(1/iops, nbytes/bandwidth)`` becomes the
+        original term divided by ``factor``, which is what the what-if
+        profiler's device predictions rely on (exact up to float
+        association, since ``1/(iops*f)`` and ``(1/iops)/f`` can differ
+        in the last ULPs).
+        """
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return SsdSpec(
+            capacity_bytes=self.capacity_bytes,
+            iops=self.iops * factor,
+            read_latency_us=self.read_latency_us / factor,
+            write_latency_us=self.write_latency_us / factor,
+            bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec * factor,
+            price_dollars=self.price_dollars,
+            flash_price_per_byte=self.flash_price_per_byte,
+        )
+
     def scaled_iops(self, iops: float,
                     price_dollars: float | None = None) -> "SsdSpec":
         """A spec with different IOPS (for the Section 7.1.2 price sweep)."""

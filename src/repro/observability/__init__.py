@@ -14,7 +14,12 @@ along its execution path.  This package makes that accounting visible
   lint-checked additive fleet summing;
 * :mod:`~repro.observability.trace_cli` — ``python -m repro trace``:
   replays a seeded workload and exports JSON / Chrome-trace output plus
-  the "$ per op by component" report citing Eq. (4)-(5) terms by name.
+  the "$ per op by component" report citing Eq. (4)-(5) terms by name;
+* :mod:`~repro.observability.whatif` — ``python -m repro whatif``: the
+  virtual causal profiler — predicts the fleet-level effect of making
+  one component faster by folding the recorded charge stream, then
+  validates against an actual scaled re-run (bit-exact where the
+  scaling is linear; see docs/PROFILING.md).
 
 See docs/ARCHITECTURE.md for the equation → module → span map.
 """
@@ -28,15 +33,39 @@ from .spans import (
     export_chrome,
     export_json,
 )
+from .whatif import (
+    CONTRACT_EXACT,
+    CONTRACT_FLOAT_ASSOC,
+    CONTRACT_QUEUEING,
+    ChargeRecorder,
+    WhatifConfig,
+    WhatifSummary,
+    check_agreement,
+    predict,
+    run_scenario,
+    run_whatif,
+    summarize,
+)
 
 __all__ = [
     "COMPONENT_OF_CATEGORY",
+    "CONTRACT_EXACT",
+    "CONTRACT_FLOAT_ASSOC",
+    "CONTRACT_QUEUEING",
     "SPAN_NAMES",
+    "ChargeRecorder",
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "WhatifConfig",
+    "WhatifSummary",
+    "check_agreement",
     "engine_registry",
     "export_chrome",
     "export_json",
     "fleet_registry",
+    "predict",
+    "run_scenario",
+    "run_whatif",
+    "summarize",
 ]

@@ -42,7 +42,7 @@ from ..faults.plan import FaultInjector
 from ..hardware.logdevice import LogDevice
 from ..hardware.machine import Machine
 from ..hardware.metrics import CounterSet
-from ..hardware.ssd import SimulatedSsd
+from ..hardware.ssd import SimulatedSsd, SsdSpec
 from ..sanitizer.core import RaceSanitizer
 from .router import ShardRouter
 
@@ -82,6 +82,7 @@ class ShardedEngine:
         threaded: bool = False,
         faults: Optional[FaultInjector] = None,
         log_topology: str = "colocated",
+        log_ssd_spec: Optional[SsdSpec] = None,
         _shards: Optional[Sequence[DeuteronomyEngine]] = None,
     ) -> None:
         if log_topology not in LOG_TOPOLOGIES:
@@ -110,6 +111,10 @@ class ShardedEngine:
         self.router = ShardRouter(num_shards)
         self.threaded = threaded
         self.log_topology = log_topology
+        # Device spec for dedicated/shared log drives; None mirrors each
+        # shard's data-SSD spec.  The what-if profiler passes a scaled
+        # spec here to speed up *only* the commit-log device.
+        self._log_ssd_spec = log_ssd_spec
         # The single drive behind every shard's queue under "shared"
         # (None otherwise); its busy seconds floor fleet elapsed time.
         self._shared_log_ssd: Optional[SimulatedSsd] = None
@@ -161,17 +166,28 @@ class ShardedEngine:
         if self.log_topology == "colocated":
             return None
         ack = tc_config.log_ack_latency_us
+        spec = (self._log_ssd_spec if self._log_ssd_spec is not None
+                else machine.ssd.spec)
         if self.log_topology == "per-shard":
-            return LogDevice(SimulatedSsd(machine.ssd.spec), machine.clock,
+            return LogDevice(SimulatedSsd(spec), machine.clock,
                              ack_latency_us=ack, colocated=False)
         if self._shared_log_ssd is None:
-            self._shared_log_ssd = SimulatedSsd(machine.ssd.spec)
+            self._shared_log_ssd = SimulatedSsd(spec)
         return LogDevice(self._shared_log_ssd, machine.clock,
                          ack_latency_us=ack, colocated=False)
 
     @property
     def num_shards(self) -> int:
         return self.router.num_shards
+
+    @property
+    def shared_log_busy_seconds(self) -> float:
+        """Busy seconds of the one shared log drive (0.0 outside the
+        "shared" topology) — the fleet elapsed floor :meth:`stats`
+        applies, exposed for the what-if profiler's predictions."""
+        if self._shared_log_ssd is None:
+            return 0.0
+        return self._shared_log_ssd.busy_seconds
 
     # --- routing ------------------------------------------------------
 
@@ -433,6 +449,7 @@ class ShardedEngine:
             threaded=crashed.threaded,
             faults=crashed.faults,
             log_topology=crashed.log_topology,
+            log_ssd_spec=crashed._log_ssd_spec,
             _shards=recovered_shards,
         )
         crashed._recovered_into = engine

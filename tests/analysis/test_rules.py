@@ -178,6 +178,40 @@ class Cache:
         )
         assert not _lint_snippet(tmp_path, clean, self.RULE)
 
+    SCALE_POSITIVE = """\
+class Installer:
+    def __init__(self, machine):
+        self.machine = machine
+
+    def install(self, factors):
+        self.machine.cpu.scale_costs(factors)
+        return factors
+"""
+
+    def test_uncharged_scale_costs_is_flagged(self, tmp_path):
+        # Installing what-if charge scaling re-prices every subsequent
+        # hot-path charge: it is a registered domain touch verb, so an
+        # uncharged path through it is a finding.
+        findings = _lint_snippet(tmp_path, self.SCALE_POSITIVE, self.RULE)
+        assert len(findings) == 1
+        assert "Installer.install" in findings[0].message
+
+    def test_charged_scale_costs_is_clean(self, tmp_path):
+        clean = self.SCALE_POSITIVE.replace(
+            "        self.machine.cpu.scale_costs(factors)\n",
+            "        self.machine.cpu.charge(\"op_dispatch\")\n"
+            "        self.machine.cpu.scale_costs(factors)\n",
+        )
+        assert not _lint_snippet(tmp_path, clean, self.RULE)
+
+    def test_scale_costs_suppression_silences(self, tmp_path):
+        suppressed = self.SCALE_POSITIVE.replace(
+            "    def install(self, factors):",
+            "    def install(self, factors):"
+            "  # repro: ignore[cost-accounting]",
+        )
+        assert not _lint_snippet(tmp_path, suppressed, self.RULE)
+
 
 # ---------------------------------------------------------------------------
 # determinism

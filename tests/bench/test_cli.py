@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import EXPERIMENTS, FAST, main
+from repro.__main__ import EXPERIMENTS, FAST, SUBCOMMANDS, main
 
 
 def test_list_prints_every_experiment(capsys):
@@ -10,6 +10,38 @@ def test_list_prints_every_experiment(capsys):
     out = capsys.readouterr().out
     for key in EXPERIMENTS:
         assert key in out
+
+
+def test_no_args_enumerates_every_subcommand(capsys):
+    """Bare ``python -m repro`` is the discoverability surface: every
+    subcommand must appear with its one-line description."""
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    for name, (__, description) in SUBCOMMANDS.items():
+        assert name in out
+        assert description in out
+    for key in EXPERIMENTS:
+        assert key in out
+    assert "fast" in out and "all" in out and "list" in out
+
+
+def test_help_enumerates_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for name, (__, description) in SUBCOMMANDS.items():
+        assert name in out
+        assert description in out
+
+
+def test_subcommand_table_modules_expose_main():
+    """Every dispatch target must import and offer ``main(argv)``."""
+    import importlib
+
+    for name, (module_name, __) in SUBCOMMANDS.items():
+        module = importlib.import_module(module_name)
+        assert callable(getattr(module, "main")), (name, module_name)
 
 
 def test_unknown_experiment_errors():

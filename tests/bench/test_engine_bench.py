@@ -19,7 +19,8 @@ class TestRunBench:
         report = run_bench(mixes=["a"], record_count=300, op_count=600,
                            batch_size=32, eviction_comparison=False,
                            record_cache_comparison=False,
-                           tiered_comparison=False)
+                           tiered_comparison=False,
+                           whatif_comparison=False)
         assert report["schema_version"] == SCHEMA_VERSION
         mix = report["mixes"]["ycsb-a"]
         assert PATH_KEYS <= set(mix["per_op"])
@@ -39,7 +40,8 @@ class TestRunBench:
         report = run_bench(mixes=[], record_count=800, op_count=1500,
                            eviction_comparison=True,
                            record_cache_comparison=False,
-                           tiered_comparison=False)
+                           tiered_comparison=False,
+                           whatif_comparison=False)
         eviction = report["eviction"]
         assert abs(eviction["clock_hit_rate"]
                    - eviction["lru_hit_rate"]) <= 0.02
@@ -48,7 +50,8 @@ class TestRunBench:
         report = run_bench(mixes=["c"], record_count=200, op_count=300,
                            eviction_comparison=False,
                            record_cache_comparison=False,
-                           tiered_comparison=False)
+                           tiered_comparison=False,
+                           whatif_comparison=False)
         text = render(report)
         assert "ycsb-c" in text
         assert "speedup" in text
@@ -76,7 +79,8 @@ class TestShardedSweep:
                            batch_size=32, eviction_comparison=False,
                            record_cache_comparison=False,
                            shard_counts=(1, 2), per_path_comparison=False,
-                           tiered_comparison=False)
+                           tiered_comparison=False,
+                           whatif_comparison=False)
         assert report["mixes"] == {}
         assert report["config"]["shard_counts"] == [1, 2]
         curve = report["sharded"]["ycsb-a"]
@@ -95,7 +99,8 @@ class TestShardedSweep:
         report = run_bench(mixes=["c"], record_count=200, op_count=300,
                            eviction_comparison=False, shard_counts=(),
                            record_cache_comparison=False,
-                           tiered_comparison=False)
+                           tiered_comparison=False,
+                           whatif_comparison=False)
         assert report["sharded"] == {}
 
     def test_render_includes_sharded_table(self):
@@ -103,7 +108,8 @@ class TestShardedSweep:
                            eviction_comparison=False, shard_counts=(1, 2),
                            per_path_comparison=False,
                            record_cache_comparison=False,
-                           tiered_comparison=False)
+                           tiered_comparison=False,
+                           whatif_comparison=False)
         text = render(report)
         assert "sharded" in text
         assert "scaling" in text
@@ -174,7 +180,8 @@ class TestRecordCacheBlock:
         report = run_bench(mixes=[], record_count=300, op_count=400,
                            eviction_comparison=False, shard_counts=(),
                            record_cache_comparison=True,
-                           tiered_comparison=False)
+                           tiered_comparison=False,
+                           whatif_comparison=False)
         text = render(report)
         assert "record cache v2" in text
         assert "figure-3" in text
@@ -256,7 +263,8 @@ class TestTieredBlock:
         report = run_bench(mixes=[], record_count=300, op_count=600,
                            eviction_comparison=False, shard_counts=(),
                            record_cache_comparison=False,
-                           tiered_comparison=True)
+                           tiered_comparison=True,
+                           whatif_comparison=False)
         assert "tiered" in report
         assert report["tiered"]["workload"] == "ycsb-b"
 
@@ -264,7 +272,8 @@ class TestTieredBlock:
         report = run_bench(mixes=[], record_count=300, op_count=600,
                            eviction_comparison=False, shard_counts=(),
                            record_cache_comparison=False,
-                           tiered_comparison=True)
+                           tiered_comparison=True,
+                           whatif_comparison=False)
         text = render(report)
         assert "tiered eviction" in text
         assert "demote" in text and "drop" in text
@@ -274,3 +283,44 @@ class TestTieredBlock:
         assert rc == 0
         captured = capsys.readouterr()
         assert "tiered smoke" in captured.out
+
+
+class TestWhatifBlock:
+    """The schema v7 ``whatif`` block: ranked bottlenecks, validated."""
+
+    def _report(self):
+        return run_bench(mixes=[], record_count=300, op_count=600,
+                         eviction_comparison=False, shard_counts=(),
+                         record_cache_comparison=False,
+                         tiered_comparison=False,
+                         whatif_comparison=True)
+
+    def test_block_shape_and_agreement(self):
+        block = self._report()["whatif"]
+        assert block["speedup"] == 2.0
+        scenarios = block["scenarios"]
+        # The tracked matrix: YCSB A/B/C single-shard, 1-vs-8 shards,
+        # sync-vs-async commit.
+        assert set(scenarios) == {
+            "ycsb-a/1shard/sync", "ycsb-b/1shard/sync",
+            "ycsb-c/1shard/sync", "ycsb-a/8shard/sync",
+            "ycsb-a/8shard/async-shared-log",
+        }
+        for scenario in scenarios.values():
+            ranking = scenario["ranking"]
+            savings = [e["savings_dollars_per_op"] for e in ranking]
+            assert savings == sorted(savings, reverse=True)
+            assert scenario["top_bottleneck"] == ranking[0]["component"]
+            validated = scenario["validated"]
+            assert validated["component"] == scenario["top_bottleneck"]
+            # check_agreement already asserted the contract; sync
+            # scenarios must additionally read exactly zero error.
+            if scenario["config"]["commit"] == "sync":
+                assert validated["agreement"]["dollars_rel_err"] == 0.0
+        shared = scenarios["ycsb-a/8shard/async-shared-log"]
+        assert shared["validated"]["contract"] == "queueing"
+
+    def test_render_includes_whatif_table(self):
+        text = render(self._report())
+        assert "what-if causal bottlenecks" in text
+        assert "top bottleneck" in text
